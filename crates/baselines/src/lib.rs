@@ -1,0 +1,175 @@
+//! # baselines — the deployment configurations of the paper's evaluation
+//!
+//! The evaluation (§6) compares four ways of deploying the same
+//! application:
+//!
+//! | Paper label  | Here                        | Model |
+//! |--------------|-----------------------------|-------|
+//! | `NoSGX-NI`   | [`Deployment::NoSgxNative`] | native image on the host |
+//! | `SGX-NI` / `NoPart-NI` | [`Deployment::SgxNative`] | native image inside the enclave |
+//! | `NoSGX+JVM`  | [`Deployment::NoSgxJvm`]    | JVM model on the host |
+//! | `SCONE+JVM`  | [`Deployment::SconeJvm`]    | JVM model inside the enclave (SCONE container) |
+//!
+//! The JVM model ([`JvmModel`]) captures the two causes the paper gives
+//! for SCONE+JVM's slowness (§6.6): (1) class loading, bytecode
+//! interpretation and dynamic compilation — a startup charge plus
+//! per-call and compute multipliers — and (2) a larger in-enclave
+//! working set (the JVM's own heap), which drives extra MEE/EPC
+//! traffic. It also captures the one counter-effect the paper reports
+//! (Table 1, `monte_carlo`): HotSpot's generational collector handles
+//! allocation-heavy workloads better than the native image's serial
+//! full-heap collector, modelled as a lower GC-copy factor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use montsalvat_core::exec::app::{AppConfig, Placement};
+use montsalvat_core::exec::world::ExecModel;
+
+/// Parameters of the JVM-in-SCONE execution model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JvmModel {
+    /// Base JVM startup (class loading, JIT warm-up) in nanoseconds.
+    pub startup_ns: u64,
+    /// Additional startup per application class.
+    pub per_class_load_ns: u64,
+    /// Per-method-invocation overhead (dispatch, residual
+    /// interpretation) in nanoseconds.
+    pub call_overhead_ns: u64,
+    /// Multiplier on compute-kernel time (average of interpreted and
+    /// JIT-compiled execution over the benchmark's lifetime).
+    pub compute_factor: f64,
+    /// Multiplier on GC copy traffic relative to the native image's
+    /// serial stop-and-copy collector (< 1: the generational JVM
+    /// collector moves less memory on allocation-heavy loads [28]).
+    pub gc_copy_factor: f64,
+    /// The JVM runtime's own heap footprint, committed at startup (in
+    /// an enclave this consumes scarce EPC).
+    pub runtime_heap_overhead_bytes: u64,
+}
+
+impl Default for JvmModel {
+    fn default() -> Self {
+        JvmModel {
+            startup_ns: 400_000_000, // 0.4 s JVM bring-up
+            per_class_load_ns: 500_000,
+            call_overhead_ns: 120,
+            compute_factor: 1.35,
+            gc_copy_factor: 0.25,
+            runtime_heap_overhead_bytes: 32 * 1024 * 1024,
+        }
+    }
+}
+
+impl JvmModel {
+    /// Converts this model into runtime [`ExecModel`] knobs for an
+    /// application with `class_count` classes.
+    pub fn exec_model(&self, class_count: usize) -> ExecModel {
+        ExecModel {
+            call_overhead_ns: self.call_overhead_ns,
+            compute_factor: self.compute_factor,
+            gc_copy_factor: self.gc_copy_factor,
+            startup_ns: self.startup_ns + self.per_class_load_ns * class_count as u64,
+            runtime_heap_overhead_bytes: self.runtime_heap_overhead_bytes,
+        }
+    }
+}
+
+/// A deployment configuration from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Deployment {
+    /// Native image on the host (`NoSGX-NI`): the fastest, least secure.
+    NoSgxNative,
+    /// Native image inside the enclave (`SGX-NI`, and `NoPart-NI` when
+    /// the image is unpartitioned).
+    SgxNative,
+    /// JVM on the host (`NoSGX+JVM`).
+    NoSgxJvm,
+    /// JVM inside an enclave via a SCONE-style container (`SCONE+JVM`).
+    SconeJvm,
+}
+
+impl Deployment {
+    /// All four deployments.
+    pub fn all() -> [Deployment; 4] {
+        [
+            Deployment::NoSgxNative,
+            Deployment::SgxNative,
+            Deployment::NoSgxJvm,
+            Deployment::SconeJvm,
+        ]
+    }
+
+    /// The paper's label for this deployment.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Deployment::NoSgxNative => "NoSGX-NI",
+            Deployment::SgxNative => "SGX-NI",
+            Deployment::NoSgxJvm => "NoSGX+JVM",
+            Deployment::SconeJvm => "SCONE+JVM",
+        }
+    }
+
+    /// Whether the application runs inside the enclave.
+    pub fn placement(&self) -> Placement {
+        match self {
+            Deployment::NoSgxNative | Deployment::NoSgxJvm => Placement::Host,
+            Deployment::SgxNative | Deployment::SconeJvm => Placement::Enclave,
+        }
+    }
+
+    /// Whether the JVM model applies.
+    pub fn is_jvm(&self) -> bool {
+        matches!(self, Deployment::NoSgxJvm | Deployment::SconeJvm)
+    }
+
+    /// Builds the [`AppConfig`] for running an application with
+    /// `class_count` classes under this deployment.
+    pub fn app_config(&self, jvm: &JvmModel, class_count: usize) -> AppConfig {
+        let exec_model =
+            if self.is_jvm() { jvm.exec_model(class_count) } else { ExecModel::native_image() };
+        AppConfig { exec_model, gc_helper_interval: None, ..AppConfig::default() }
+    }
+}
+
+impl std::fmt::Display for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placements_match_labels() {
+        assert_eq!(Deployment::NoSgxNative.placement(), Placement::Host);
+        assert_eq!(Deployment::SconeJvm.placement(), Placement::Enclave);
+        assert!(Deployment::SconeJvm.is_jvm());
+        assert!(!Deployment::SgxNative.is_jvm());
+    }
+
+    #[test]
+    fn jvm_model_scales_startup_with_classes() {
+        let jvm = JvmModel::default();
+        let small = jvm.exec_model(10);
+        let large = jvm.exec_model(1000);
+        assert!(large.startup_ns > small.startup_ns);
+        assert_eq!(small.compute_factor, jvm.compute_factor);
+    }
+
+    #[test]
+    fn native_deployments_have_no_overheads() {
+        let cfg = Deployment::NoSgxNative.app_config(&JvmModel::default(), 100);
+        assert_eq!(cfg.exec_model, ExecModel::native_image());
+        let cfg = Deployment::SconeJvm.app_config(&JvmModel::default(), 100);
+        assert!(cfg.exec_model.startup_ns > 0);
+    }
+
+    #[test]
+    fn jvm_gc_copies_less_than_serial_native_gc() {
+        // The Table-1 monte_carlo anomaly depends on this inequality.
+        assert!(JvmModel::default().gc_copy_factor < 1.0);
+    }
+}

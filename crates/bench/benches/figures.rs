@@ -1,0 +1,84 @@
+//! One Criterion bench per figure/table of the paper's evaluation.
+//!
+//! Each bench regenerates the corresponding experiment at `Quick` scale
+//! (the binaries in `crates/experiments` produce the full-scale data).
+//! The measured quantity is the wall time of regenerating the artefact —
+//! useful for tracking harness regressions; the *scientific* numbers
+//! are the simulation-time outputs recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Scale;
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_proxy_creation", |b| {
+        b.iter(|| std::hint::black_box(experiments::micro::fig3(Scale::Quick)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4a_rmi_invocations", |b| {
+        b.iter(|| std::hint::black_box(experiments::micro::fig4a(Scale::Quick)))
+    });
+    c.bench_function("fig4b_rmi_serialization", |b| {
+        b.iter(|| std::hint::black_box(experiments::micro::fig4b(Scale::Quick)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5a_gc_performance", |b| {
+        b.iter(|| std::hint::black_box(experiments::gc::fig5a(Scale::Quick)))
+    });
+    c.bench_function("fig5b_gc_consistency", |b| {
+        b.iter(|| std::hint::black_box(experiments::gc::fig5b(Scale::Quick)))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_partition_sweep", |b| {
+        b.iter(|| std::hint::black_box(experiments::synthetic::fig6(Scale::Quick)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_paldb", |b| {
+        b.iter(|| std::hint::black_box(experiments::paldb::fig7(Scale::Quick)))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9_graphchi", |b| {
+        b.iter(|| std::hint::black_box(experiments::graph::fig9(Scale::Quick)))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_paldb_vs_jvm", |b| {
+        b.iter(|| std::hint::black_box(experiments::paldb::fig10(Scale::Quick)))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_graphchi_vs_jvm", |b| {
+        b.iter(|| std::hint::black_box(experiments::graph::fig11(Scale::Quick)))
+    });
+}
+
+fn bench_fig12_table1(c: &mut Criterion) {
+    c.bench_function("fig12_specjvm", |b| {
+        b.iter(|| std::hint::black_box(experiments::spec::fig12(Scale::Quick)))
+    });
+    c.bench_function("table1_gains", |b| {
+        b.iter(|| {
+            let runs = experiments::spec::fig12(Scale::Quick);
+            std::hint::black_box(experiments::spec::table1(&runs))
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_fig7,
+              bench_fig9, bench_fig10, bench_fig11, bench_fig12_table1
+}
+criterion_main!(figures);

@@ -1,0 +1,66 @@
+//! Ablation: classic ecall/ocall RMI crossings vs switchless
+//! (transition-less) calls — the paper's §7 future-work item.
+//!
+//! Runs under `ClockMode::Spin` so Criterion's wall-clock measurement
+//! observes the cost model: the classic path realises the transition +
+//! relay charges (~45 µs per crossing), the switchless path only the
+//! hand-off (~1 µs) plus real thread communication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use montsalvat_core::exec::app::{AppConfig, PartitionedApp};
+use montsalvat_core::exec::switchless::SwitchlessConfig;
+use montsalvat_core::image_builder::{build_partitioned_images, ImageOptions};
+use montsalvat_core::transform::transform;
+use runtime_sim::value::Value;
+use sgx_sim::cost::ClockMode;
+
+fn launch(switchless: bool) -> PartitionedApp {
+    let tp = transform(&experiments::progs::proxy_bench_program());
+    let options = ImageOptions::with_entry_points(experiments::progs::proxy_bench_entries());
+    let (t, u) = build_partitioned_images(&tp, &options, &options).expect("images");
+    let config = AppConfig {
+        gc_helper_interval: None,
+        clock_mode: ClockMode::Spin,
+        switchless: switchless.then(SwitchlessConfig::default),
+        ..AppConfig::default()
+    };
+    PartitionedApp::launch(&t, &u, config).expect("launch")
+}
+
+fn bench_rmi_modes(c: &mut Criterion) {
+    let classic = launch(false);
+    c.bench_function("rmi_classic_transition", |b| {
+        classic
+            .enter_untrusted(|ctx| {
+                let obj = ctx.new_object("TObj", &[Value::Int(0)])?;
+                let mut i = 0i64;
+                b.iter(|| {
+                    i += 1;
+                    ctx.call(&obj, "set", &[Value::Int(i)]).unwrap();
+                });
+                Ok(())
+            })
+            .unwrap();
+    });
+    let switchless = launch(true);
+    c.bench_function("rmi_switchless", |b| {
+        switchless
+            .enter_untrusted(|ctx| {
+                let obj = ctx.new_object("TObj", &[Value::Int(0)])?;
+                let mut i = 0i64;
+                b.iter(|| {
+                    i += 1;
+                    ctx.call(&obj, "set", &[Value::Int(i)]).unwrap();
+                });
+                Ok(())
+            })
+            .unwrap();
+    });
+}
+
+criterion_group! {
+    name = switchless;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rmi_modes
+}
+criterion_main!(switchless);

@@ -1,0 +1,18 @@
+//! Figure 10: PalDB native images vs PalDB in SCONE+JVM (§6.6).
+
+use experiments::report::{mean_ratio, print_figure, print_params, Scale};
+use sgx_sim::cost::CostParams;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_params(&CostParams::paper_defaults());
+    let series = experiments::paldb::fig10(scale);
+    print_figure("Figure 10: PalDB vs SCONE+JVM (s)", "# keys", &series);
+    // series order: NoPart, RTWU, WTRU, SCONE+JVM, NoSGX
+    println!(
+        "\nSCONE+JVM / Part(RTWU): {:.1}x (paper: ~6.6x); SCONE+JVM / Part(WTRU): {:.1}x (paper: ~2.8x); SCONE+JVM / NoPart-NI: {:.1}x (paper: ~2.6x)",
+        mean_ratio(&series[3], &series[1]),
+        mean_ratio(&series[3], &series[2]),
+        mean_ratio(&series[3], &series[0]),
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 11: GraphChi native images vs GraphChi in SCONE+JVM (§6.6).
+
+use experiments::report::{print_params, Scale};
+use sgx_sim::cost::CostParams;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_params(&CostParams::paper_defaults());
+    let data = experiments::graph::fig11(scale);
+    println!("\n=== Figure 11: PageRank 25k-V/100k-E, total time (s) ===");
+    print!("{:>7}", "shards");
+    for (config, _) in &data {
+        print!(" {:>12}", config.label());
+    }
+    println!();
+    let n_shards = data.first().map(|(_, runs)| runs.len()).unwrap_or(0);
+    for i in 0..n_shards {
+        print!("{:>7}", data[0].1[i].shards);
+        for (_, runs) in &data {
+            print!(" {:>12.3}", runs[i].total);
+        }
+        println!();
+    }
+    let mean = |runs: &[experiments::graph::GraphRun]| {
+        runs.iter().map(|r| r.total).sum::<f64>() / runs.len() as f64
+    };
+    let scone = data.iter().find(|(c, _)| c.label() == "SCONE+JVM").unwrap();
+    let part = data.iter().find(|(c, _)| c.label() == "Part-NI").unwrap();
+    let nopart = data.iter().find(|(c, _)| c.label() == "NoPart-NI").unwrap();
+    println!(
+        "\nSCONE+JVM / Part-NI: {:.1}x (paper: ~2.2x); SCONE+JVM / NoPart-NI: {:.1}x (paper: ~1.7x)",
+        mean(&scone.1) / mean(&part.1),
+        mean(&scone.1) / mean(&nopart.1),
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 12: unpartitioned SPECjvm2008 micro-benchmarks in enclaves (§6.6).
+
+use baselines::Deployment;
+use experiments::report::{print_params, Scale};
+use sgx_sim::cost::CostParams;
+use specjvm::Workload;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_params(&CostParams::paper_defaults());
+    let runs = experiments::spec::fig12(scale);
+    println!("\n=== Figure 12: SPECjvm2008 micro-benchmarks, run time (s) ===");
+    print!("{:>12}", "benchmark");
+    for d in Deployment::all() {
+        print!(" {:>12}", d.label());
+    }
+    println!();
+    for w in Workload::all() {
+        print!("{:>12}", w.name());
+        for d in Deployment::all() {
+            let run = runs.iter().find(|r| r.workload == w && r.deployment == d).unwrap();
+            print!(" {:>12.3}", run.seconds);
+        }
+        println!();
+    }
+}

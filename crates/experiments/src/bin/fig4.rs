@@ -1,0 +1,24 @@
+//! Figure 4: RMI latency and serialization impact (§6.3).
+
+use experiments::report::{mean_ratio, print_figure, print_params, Scale};
+use sgx_sim::cost::CostParams;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_params(&CostParams::paper_defaults());
+    let a = experiments::micro::fig4a(scale);
+    print_figure("Figure 4(a): method invocations (s)", "# invocations", &a);
+    println!(
+        "\nproxy-out→in / concrete-out: {:.0}x; proxy-in→out / concrete-in: {:.0}x",
+        mean_ratio(&a[0], &a[2]),
+        mean_ratio(&a[1], &a[3]),
+    );
+    let b = experiments::micro::fig4b(scale);
+    print_figure("Figure 4(b): serialization impact (s)", "list size", &b);
+    // series: [out→in+s, in→out+s, out→in, in→out]
+    println!(
+        "\nin-enclave RMI +s / RMI: {:.1}x (paper ~10x); out RMI +s / RMI: {:.1}x (paper ~3x)",
+        mean_ratio(&b[1], &b[3]),
+        mean_ratio(&b[0], &b[2]),
+    );
+}

@@ -1,0 +1,25 @@
+//! Figure 5: garbage-collection performance and consistency (§6.4).
+
+use experiments::report::{mean_ratio, print_figure, print_params, Scale};
+use sgx_sim::cost::CostParams;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_params(&CostParams::paper_defaults());
+    let a = experiments::gc::fig5a(scale);
+    print_figure("Figure 5(a): total GC time (s)", "# objects", &a);
+    println!("\nGC in enclave / GC outside: {:.1}x (paper: ~1 order of magnitude)", mean_ratio(&a[1], &a[0]));
+
+    let samples = experiments::gc::fig5b(scale);
+    println!("\n=== Figure 5(b): GC consistency (proxies out vs mirrors in) ===");
+    println!("{:>6} {:>14} {:>14}", "step", "proxy-objs-out", "mirror-objs-in");
+    for s in &samples {
+        println!("{:>6} {:>14} {:>14}", s.step, s.proxies_out, s.mirrors_in);
+    }
+    let max_gap = samples
+        .iter()
+        .map(|s| (s.proxies_out as i64 - s.mirrors_in as i64).unsigned_abs())
+        .max()
+        .unwrap_or(0);
+    println!("\nmax |proxies - mirrors| across timeline: {max_gap} (consistency: tracks closely)");
+}

@@ -1,0 +1,16 @@
+//! Figure 6: enclave performance vs share of untrusted classes (§6.5).
+
+use experiments::report::{print_figure, print_params, Scale};
+use sgx_sim::cost::CostParams;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_params(&CostParams::paper_defaults());
+    let series = experiments::synthetic::fig6(scale);
+    print_figure("Figure 6: synthetic partition sweep (s)", "% untrusted", &series);
+    for s in &series {
+        let first = s.points.first().map(|p| p.1).unwrap_or(0.0);
+        let last = s.points.last().map(|p| p.1).unwrap_or(0.0);
+        println!("{}: 0% untrusted {:.3}s -> 100% untrusted {:.3}s", s.label, first, last);
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 7: read/write times for partitioned PalDB (§6.5).
+
+use experiments::report::{mean_ratio, print_figure, print_params, Scale};
+use sgx_sim::cost::CostParams;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_params(&CostParams::paper_defaults());
+    let series = experiments::paldb::fig7(scale);
+    print_figure("Figure 7: PalDB read+write time (s)", "# keys", &series);
+    // series order: NoSGX, NoPart, RTWU, WTRU
+    println!(
+        "\nNoPart / Part(RTWU): {:.2}x (paper: ~2.5x); NoPart / Part(WTRU): {:.2}x (paper: ~1.04x)",
+        mean_ratio(&series[1], &series[2]),
+        mean_ratio(&series[1], &series[3]),
+    );
+    // Demonstrate the ocall asymmetry behind the schemes.
+    let rtwu = experiments::paldb::run_config(experiments::paldb::PaldbConfig::Rtwu, 5_000);
+    let ruwt = experiments::paldb::run_config(experiments::paldb::PaldbConfig::Ruwt, 5_000);
+    println!(
+        "ocalls at 5k keys: RTWU {} vs WTRU {} ({:.0}x more; paper: ~23x)",
+        rtwu.ocalls,
+        ruwt.ocalls,
+        ruwt.ocalls as f64 / rtwu.ocalls.max(1) as f64,
+    );
+}

@@ -1,0 +1,23 @@
+//! Figure 9: execution time for partitioned PageRank (§6.5).
+
+use experiments::report::{print_params, Scale};
+use sgx_sim::cost::CostParams;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_params(&CostParams::paper_defaults());
+    for ((v, e), runs) in experiments::graph::fig9(scale) {
+        println!("\n=== Figure 9: PageRank, {v}-V / {e}-E ===");
+        println!("{:>7} {:>12} {:>10} {:>10} {:>10}", "shards", "config", "total", "engine", "sharding");
+        for (config, run) in runs {
+            println!(
+                "{:>7} {:>12} {:>10.3} {:>10.3} {:>10.3}",
+                run.shards,
+                config.label(),
+                run.total,
+                run.engine,
+                run.sharding
+            );
+        }
+    }
+}

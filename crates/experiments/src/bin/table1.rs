@@ -1,0 +1,19 @@
+//! Table 1: latency gain of in-enclave native images over SCONE+JVM (§6.6).
+
+use experiments::report::{print_params, print_table, Scale};
+use sgx_sim::cost::CostParams;
+
+fn main() {
+    let scale = Scale::from_args();
+    print_params(&CostParams::paper_defaults());
+    let runs = experiments::spec::fig12(scale);
+    let rows: Vec<Vec<String>> = experiments::spec::table1(&runs)
+        .into_iter()
+        .map(|row| vec![row.workload.name().to_owned(), format!("{:.2}x", row.gain)])
+        .collect();
+    print_table(
+        "Table 1: SGX-NI gain over SCONE+JVM (paper: 2.12/2.66/0.25/1.42/1.46/1.38)",
+        &["benchmark", "gain"],
+        &rows,
+    );
+}

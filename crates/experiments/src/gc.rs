@@ -1,0 +1,144 @@
+//! Figure 5: garbage-collection performance and consistency (§6.4).
+
+use montsalvat_core::annotation::Side;
+use montsalvat_core::exec::app::{AppConfig, PartitionedApp};
+use montsalvat_core::image_builder::{build_partitioned_images, ImageOptions};
+use montsalvat_core::transform::transform;
+use runtime_sim::heap::HeapConfig;
+use runtime_sim::value::Value;
+
+use crate::progs::{proxy_bench_entries, proxy_bench_program};
+use crate::report::{Scale, Series};
+
+fn launch(gc_threshold: u64) -> PartitionedApp {
+    let tp = transform(&proxy_bench_program());
+    let options = ImageOptions::with_entry_points(proxy_bench_entries());
+    let (trusted, untrusted) =
+        build_partitioned_images(&tp, &options, &options).expect("gc bench images build");
+    let config = AppConfig {
+        gc_helper_interval: None,
+        heap_config: HeapConfig { gc_threshold_bytes: gc_threshold, ..HeapConfig::default() },
+        ..AppConfig::default()
+    };
+    PartitionedApp::launch(&trusted, &untrusted, config).expect("launch gc bench")
+}
+
+/// Runs Figure 5(a): total stop-and-copy collection time for `n`
+/// objects (half surviving, half reclaimed), in and out of the enclave.
+///
+/// The in-enclave series pays MEE/EPC charges for the copy phase,
+/// reproducing the paper's order-of-magnitude GC slowdown inside
+/// enclaves.
+pub fn fig5a(scale: Scale) -> Vec<Series> {
+    let counts: Vec<usize> = match scale {
+        Scale::Full => (1..=10).map(|i| i * 50_000).collect(),
+        Scale::Quick => vec![5_000, 10_000],
+    };
+    let mut series = vec![Series::new("concrete-out: GC out"), Series::new("concrete-in: GC in")];
+    for &n in &counts {
+        for (idx, in_enclave) in [false, true].into_iter().enumerate() {
+            let app = launch(u64::MAX); // no auto-GC; triggered manually
+            let body = |ctx: &mut montsalvat_core::Ctx<'_>| {
+                let mut survivors = Vec::new();
+                for i in 0..n {
+                    let v = ctx.alloc_blob(64)?;
+                    if i % 2 == 0 {
+                        survivors.push(v);
+                    } else {
+                        ctx.forget(&v);
+                    }
+                }
+                // Model time: the charges of the collection itself
+                // (in-enclave copies pay the MEE GC rate) plus a
+                // nominal trace/copy cost per object.
+                let start = ctx.cost_charged();
+                ctx.collect_garbage();
+                Ok(ctx.cost_charged() - start)
+            };
+            let charged = if in_enclave {
+                app.enter_trusted(body)
+            } else {
+                app.enter_untrusted(body)
+            }
+            .expect("gc scenario runs");
+            let model_seconds = charged.as_secs_f64() + n as f64 * NOMINAL_GC_NS_PER_OBJECT * 1e-9;
+            series[idx].push(n as f64, model_seconds);
+        }
+    }
+    series
+}
+
+/// Nominal trace-and-copy model cost per object for a collection
+/// outside the enclave (see the methodology note in [`crate::micro`]).
+pub const NOMINAL_GC_NS_PER_OBJECT: f64 = 20.0;
+
+/// One timeline sample of the GC-consistency experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsistencySample {
+    /// Step index (the paper's timestamp).
+    pub step: u32,
+    /// Live proxy objects in the untrusted runtime.
+    pub proxies_out: usize,
+    /// Mirror objects registered in the enclave.
+    pub mirrors_in: usize,
+}
+
+/// Runs Figure 5(b): proxies are created and destroyed over a timeline;
+/// after every step the untrusted heap is collected and the GC-helper
+/// scan relayed, and both populations are sampled. Consistency holds if
+/// the mirror count tracks the proxy count.
+pub fn fig5b(scale: Scale) -> Vec<ConsistencySample> {
+    let (steps, batch) = match scale {
+        Scale::Full => (60u32, 5_000usize),
+        Scale::Quick => (10, 300),
+    };
+    let app = launch(u64::MAX);
+    // Standing roots held across frames, released on destruction.
+    let mut held: Vec<Value> = Vec::new();
+    let mut out = Vec::new();
+    for step in 0..steps {
+        app.enter_untrusted(|ctx| {
+            let unroot = |ctx: &mut montsalvat_core::Ctx<'_>, v: &Value| {
+                ctx.with_heap(|h| {
+                    if let Some(id) = v.as_ref_id() {
+                        h.remove_root(id);
+                    }
+                });
+            };
+            if step < steps / 2 {
+                // Growth phase: create a batch, drop a quarter.
+                for i in 0..batch {
+                    let p = ctx.new_object("TObj", &[Value::Int(i as i64)])?;
+                    // Keep alive beyond this frame with a standing root.
+                    ctx.with_heap(|h| {
+                        if let Some(id) = p.as_ref_id() {
+                            h.add_root(id);
+                        }
+                    });
+                    held.push(p);
+                }
+                for _ in 0..batch / 4 {
+                    let v = held.remove(0);
+                    unroot(ctx, &v);
+                }
+            } else {
+                // Destruction phase.
+                let drop_count = (batch * 3 / 2).min(held.len());
+                for _ in 0..drop_count {
+                    let v = held.remove(0);
+                    unroot(ctx, &v);
+                }
+            }
+            ctx.collect_garbage();
+            Ok(())
+        })
+        .expect("consistency step runs");
+        app.gc_sync_once().expect("helper sync runs");
+        out.push(ConsistencySample {
+            step,
+            proxies_out: app.live_proxy_count(Side::Untrusted),
+            mirrors_in: app.registry_len(Side::Trusted),
+        });
+    }
+    out
+}

@@ -1,0 +1,52 @@
+//! # graphchi — a GraphChi-style out-of-core graph engine
+//!
+//! GraphChi (Kyrola et al., OSDI'12) is the paper's second
+//! macro-benchmark (§6.5). Its programs follow a two-phase workflow
+//! (Fig. 8):
+//!
+//! 1. **Sharding** — [`sharder::shard`] (the FastSharder) splits the
+//!    input edge list into destination-interval shards on disk. This
+//!    phase is I/O-bound, which is why the partitioned deployment puts
+//!    it *outside* the enclave.
+//! 2. **Engine** — [`engine::run`] (the GraphChiEngine) streams shards
+//!    and executes a vertex program ([`programs::PageRank`], or the
+//!    [`programs::ConnectedComponents`] extension). This phase is
+//!    compute-bound and stays *inside* the enclave.
+//!
+//! Graphs come from the [`rmat`] generator, as in the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphchi::{engine, programs::PageRank, rmat, sharder, Backend};
+//!
+//! # fn main() -> Result<(), sgx_sim::SgxError> {
+//! let edges = rmat::generate(500, 2_000, rmat::RmatParams::default(), 42);
+//! let dir = std::env::temp_dir().join(format!("graphchi_doc_{}", std::process::id()));
+//! let graph = sharder::shard(&Backend::Host, &dir, 500, &edges, 3)?;
+//! let result = engine::run(&Backend::Host, &graph, &PageRank::default(), 4)?;
+//! assert_eq!(result.values.len(), 500);
+//! # graph.cleanup();
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod programs;
+pub mod rmat;
+pub mod sharder;
+
+/// Where the graph's file I/O executes (host or enclave shim).
+pub use sgx_sim::shim::IoBackend as Backend;
+
+pub(crate) mod backend {
+    pub use sgx_sim::shim::IoBackend as Backend;
+}
+
+pub use engine::{EngineResult, EngineStats};
+pub use rmat::{Edge, RmatParams};
+pub use sharder::{ShardStats, ShardedGraph};

@@ -1,0 +1,138 @@
+//! R-MAT recursive graph generator (Chakrabarti et al., SDM'04).
+//!
+//! The paper evaluates GraphChi on synthetic directed graphs generated
+//! with R-MAT (§6.5). The generator recursively picks a quadrant of the
+//! adjacency matrix with probabilities `(a, b, c, d)`, producing the
+//! skewed degree distributions typical of real networks.
+
+/// A directed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: u32,
+    /// Destination vertex.
+    pub dst: u32,
+}
+
+/// R-MAT quadrant probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Bottom-right.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        // The canonical skewed setting.
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+    }
+}
+
+#[derive(Debug)]
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((self.0 >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+}
+
+/// Generates `edge_count` directed edges over `vertices` vertices.
+///
+/// Vertices outside the requested range (R-MAT works on a
+/// power-of-two-sized matrix) are redrawn, so every edge endpoint is in
+/// `0..vertices`. Deterministic per seed.
+pub fn generate(vertices: u32, edge_count: usize, params: RmatParams, seed: u64) -> Vec<Edge> {
+    assert!(vertices >= 2, "graph needs at least two vertices");
+    let scale = 32 - (vertices - 1).leading_zeros();
+    let mut rng = Lcg(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
+    let mut edges = Vec::with_capacity(edge_count);
+    while edges.len() < edge_count {
+        let (mut src, mut dst) = (0u32, 0u32);
+        for _ in 0..scale {
+            src <<= 1;
+            dst <<= 1;
+            let r = rng.next_f64();
+            if r < params.a {
+                // top-left: neither bit set
+            } else if r < params.a + params.b {
+                dst |= 1;
+            } else if r < params.a + params.b + params.c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        if src < vertices && dst < vertices && src != dst {
+            edges.push(Edge { src, dst });
+        }
+    }
+    edges
+}
+
+/// Out-degree of every vertex.
+pub fn out_degrees(vertices: u32, edges: &[Edge]) -> Vec<u32> {
+    let mut deg = vec![0u32; vertices as usize];
+    for e in edges {
+        deg[e.src as usize] += 1;
+    }
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_edge_count_in_range() {
+        let edges = generate(6_250, 25_000, RmatParams::default(), 1);
+        assert_eq!(edges.len(), 25_000);
+        assert!(edges.iter().all(|e| e.src < 6_250 && e.dst < 6_250 && e.src != e.dst));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(1000, 5000, RmatParams::default(), 9);
+        let b = generate(1000, 5000, RmatParams::default(), 9);
+        let c = generate(1000, 5000, RmatParams::default(), 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let edges = generate(4096, 40_000, RmatParams::default(), 3);
+        let deg = out_degrees(4096, &edges);
+        let max = *deg.iter().max().unwrap();
+        let mean = 40_000.0 / 4096.0;
+        assert!(
+            (max as f64) > 10.0 * mean,
+            "rmat should be skewed: max {max}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn uniform_params_are_not_skewed_like_default() {
+        let uniform = RmatParams { a: 0.25, b: 0.25, c: 0.25, d: 0.25 };
+        let e_uniform = generate(4096, 40_000, uniform, 3);
+        let e_skewed = generate(4096, 40_000, RmatParams::default(), 3);
+        let max_uniform = *out_degrees(4096, &e_uniform).iter().max().unwrap();
+        let max_skewed = *out_degrees(4096, &e_skewed).iter().max().unwrap();
+        assert!(max_skewed > max_uniform);
+    }
+
+    #[test]
+    fn out_degrees_sum_to_edge_count() {
+        let edges = generate(512, 3000, RmatParams::default(), 5);
+        let deg = out_degrees(512, &edges);
+        assert_eq!(deg.iter().map(|&d| d as usize).sum::<usize>(), edges.len());
+    }
+}

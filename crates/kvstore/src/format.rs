@@ -1,0 +1,144 @@
+//! On-disk format of the write-once store.
+//!
+//! ```text
+//! [record]*           data section, in put order
+//! [index]             open-addressed hash table
+//! [footer]            fixed-size trailer
+//!
+//! record := klen:u32 vlen:u32 key[klen] value[vlen]
+//! index  := n_slots:u64 (slot := key_hash:u64 offset_plus_1:u64)*
+//! footer := index_offset:u64 n_records:u64 magic:u64
+//! ```
+//!
+//! The index stores `offset + 1` so that zero means "empty slot".
+
+use std::error::Error;
+use std::fmt;
+
+/// Magic number in the footer.
+pub const MAGIC: u64 = 0x4d4f_4e54_5341_4c56; // "MONTSALV"
+
+/// Size of the fixed footer in bytes.
+pub const FOOTER_LEN: usize = 24;
+
+/// Size of one index slot in bytes.
+pub const SLOT_LEN: usize = 16;
+
+/// Errors raised by store operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Underlying I/O (host or relayed) failed.
+    Io(sgx_sim::SgxError),
+    /// The file is not a valid store (bad magic, truncated sections).
+    Corrupt(String),
+    /// `put` after `finalize`, or reads before `finalize`.
+    Lifecycle(String),
+    /// Key or value exceeds `u32::MAX` bytes.
+    TooLarge,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o failed: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store file corrupt: {m}"),
+            StoreError::Lifecycle(m) => write!(f, "store lifecycle violation: {m}"),
+            StoreError::TooLarge => write!(f, "key or value too large"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sgx_sim::SgxError> for StoreError {
+    fn from(e: sgx_sim::SgxError) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// FNV-1a hash of a key.
+pub fn key_hash(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // Avoid 0 so tests can use 0 as a sentinel safely.
+    h.max(1)
+}
+
+/// Encodes a record header + payload.
+pub fn encode_record(key: &[u8], value: &[u8]) -> Result<Vec<u8>, StoreError> {
+    if key.len() > u32::MAX as usize || value.len() > u32::MAX as usize {
+        return Err(StoreError::TooLarge);
+    }
+    let mut out = Vec::with_capacity(8 + key.len() + value.len());
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+    Ok(out)
+}
+
+/// Decodes the record at `offset` in `data`; returns `(key, value)`.
+pub fn decode_record(data: &[u8], offset: usize) -> Result<(&[u8], &[u8]), StoreError> {
+    let header_end = offset
+        .checked_add(8)
+        .filter(|&e| e <= data.len())
+        .ok_or_else(|| StoreError::Corrupt(format!("record header at {offset} out of range")))?;
+    let klen = u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+    let vlen =
+        u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes")) as usize;
+    let key_end = header_end
+        .checked_add(klen)
+        .filter(|&e| e <= data.len())
+        .ok_or_else(|| StoreError::Corrupt(format!("key at {offset} out of range")))?;
+    let val_end = key_end
+        .checked_add(vlen)
+        .filter(|&e| e <= data.len())
+        .ok_or_else(|| StoreError::Corrupt(format!("value at {offset} out of range")))?;
+    Ok((&data[header_end..key_end], &data[key_end..val_end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = encode_record(b"key", b"value!").unwrap();
+        let (k, v) = decode_record(&rec, 0).unwrap();
+        assert_eq!(k, b"key");
+        assert_eq!(v, b"value!");
+    }
+
+    #[test]
+    fn empty_key_and_value_are_legal() {
+        let rec = encode_record(b"", b"").unwrap();
+        let (k, v) = decode_record(&rec, 0).unwrap();
+        assert!(k.is_empty() && v.is_empty());
+    }
+
+    #[test]
+    fn truncated_records_are_detected() {
+        let rec = encode_record(b"abcdef", b"ghij").unwrap();
+        assert!(decode_record(&rec[..rec.len() - 1], 0).is_err());
+        assert!(decode_record(&rec, 4).is_err());
+        assert!(decode_record(&rec, rec.len() + 10).is_err());
+    }
+
+    #[test]
+    fn hash_is_stable_and_nonzero() {
+        assert_eq!(key_hash(b"alpha"), key_hash(b"alpha"));
+        assert_ne!(key_hash(b"alpha"), key_hash(b"beta"));
+        assert_ne!(key_hash(b""), 0);
+    }
+}

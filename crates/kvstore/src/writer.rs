@@ -1,0 +1,150 @@
+//! The write-once store writer.
+//!
+//! Like PalDB, the store is built in one pass: records are appended with
+//! regular (non-mmap) I/O — one write per record, which inside an
+//! enclave means one ocall per record (§6.5) — and `finalize` writes the
+//! hash index and footer.
+
+use std::path::{Path, PathBuf};
+
+use crate::backend::{Backend, KvFile};
+use crate::format::{encode_record, key_hash, StoreError, FOOTER_LEN, MAGIC, SLOT_LEN};
+
+/// Statistics of a store build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteStats {
+    /// Records written.
+    pub records: u64,
+    /// Data-section bytes.
+    pub data_bytes: u64,
+    /// Total file bytes including index and footer.
+    pub file_bytes: u64,
+    /// Individual write calls issued.
+    pub write_calls: u64,
+}
+
+/// A single-pass store writer.
+///
+/// # Examples
+///
+/// ```no_run
+/// use kvstore::{Backend, StoreWriter};
+///
+/// # fn main() -> Result<(), kvstore::StoreError> {
+/// let mut writer = StoreWriter::create(&Backend::Host, "/tmp/store.paldb")?;
+/// writer.put(b"user:1", b"alice")?;
+/// writer.put(b"user:2", b"bob")?;
+/// let stats = writer.finalize()?;
+/// assert_eq!(stats.records, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StoreWriter {
+    file: KvFile,
+    path: PathBuf,
+    entries: Vec<(u64, Vec<u8>, u64)>, // (hash, key, offset)
+    offset: u64,
+    stats: WriteStats,
+}
+
+impl StoreWriter {
+    /// Creates a store file on `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failure as [`StoreError::Io`].
+    pub fn create(backend: &Backend, path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = backend.create(&path)?;
+        Ok(StoreWriter {
+            file,
+            path,
+            entries: Vec::new(),
+            offset: 0,
+            stats: WriteStats::default(),
+        })
+    }
+
+    /// The store file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one key/value pair. Re-putting a key makes the newest
+    /// value win at read time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failure and oversized keys/values.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let record = encode_record(key, value)?;
+        self.file.write_all(&record)?;
+        self.entries.push((key_hash(key), key.to_vec(), self.offset));
+        self.offset += record.len() as u64;
+        self.stats.records += 1;
+        self.stats.data_bytes += record.len() as u64;
+        self.stats.write_calls += 1;
+        Ok(())
+    }
+
+    /// Writes the index and footer, syncs, and returns the build stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failure.
+    pub fn finalize(mut self) -> Result<WriteStats, StoreError> {
+        // Open-addressed table at ≤ 50% load.
+        let n_slots = (self.entries.len().max(1) * 2).next_power_of_two() as u64;
+        let mut slots = vec![(0u64, 0u64); n_slots as usize];
+        let mask = n_slots - 1;
+        // Deduplicate: the latest offset per key wins (linear probing by
+        // hash; key equality resolved at read time via the record, so
+        // here later inserts simply overwrite same-key slots).
+        for (hash, key, offset) in &self.entries {
+            let mut slot = hash & mask;
+            loop {
+                let (slot_hash, slot_off) = slots[slot as usize];
+                if slot_off == 0 {
+                    slots[slot as usize] = (*hash, offset + 1);
+                    break;
+                }
+                if slot_hash == *hash {
+                    // Same hash: same key overwrites; a colliding
+                    // different key probes on.
+                    let same_key = {
+                        // Compare against the recorded key for the
+                        // earlier entry with this offset.
+                        self.entries
+                            .iter()
+                            .find(|(_, _, o)| o + 1 == slot_off)
+                            .map(|(_, k, _)| k == key)
+                            .unwrap_or(false)
+                    };
+                    if same_key {
+                        slots[slot as usize] = (*hash, offset + 1);
+                        break;
+                    }
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+        let index_offset = self.offset;
+        let mut index = Vec::with_capacity(8 + slots.len() * SLOT_LEN);
+        index.extend_from_slice(&n_slots.to_le_bytes());
+        for (h, o) in &slots {
+            index.extend_from_slice(&h.to_le_bytes());
+            index.extend_from_slice(&o.to_le_bytes());
+        }
+        self.file.write_all(&index)?;
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(&index_offset.to_le_bytes());
+        footer.extend_from_slice(&self.stats.records.to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        self.file.write_all(&footer)?;
+        self.file.sync_all()?;
+        self.stats.write_calls += 2;
+        self.stats.file_bytes = index_offset + index.len() as u64 + FOOTER_LEN as u64;
+        Ok(self.stats)
+    }
+}

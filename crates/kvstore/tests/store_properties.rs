@@ -1,0 +1,65 @@
+//! Property tests for the write-once store: arbitrary key/value maps
+//! roundtrip exactly, including binary keys, hash collisions under
+//! probing, and duplicate-key overwrites.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kvstore::{Backend, StoreReader, StoreWriter};
+use proptest::prelude::*;
+
+fn temp_path() -> std::path::PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "kv_prop_{}_{}.paldb",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The store is an exact map: every inserted key reads back its
+    /// latest value; absent keys read back `None`.
+    #[test]
+    fn store_is_an_exact_map(
+        pairs in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..40), proptest::collection::vec(any::<u8>(), 0..120)),
+            0..200,
+        ),
+        probes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..40),
+    ) {
+        let path = temp_path();
+        let mut w = StoreWriter::create(&Backend::Host, &path).unwrap();
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        for (k, v) in &pairs {
+            w.put(k, v).unwrap();
+            model.insert(k.clone(), v.clone());
+        }
+        let stats = w.finalize().unwrap();
+        prop_assert_eq!(stats.records as usize, pairs.len());
+
+        let r = StoreReader::open(&Backend::Host, &path).unwrap();
+        for (k, v) in &model {
+            let read = r.get(k).unwrap();
+            prop_assert_eq!(read.as_deref(), Some(v.as_slice()));
+        }
+        for probe in &probes {
+            prop_assert_eq!(r.get(probe).unwrap(), model.get(probe).cloned());
+        }
+        // Iteration yields exactly the live map.
+        let iterated: HashMap<Vec<u8>, Vec<u8>> = r.iter().collect();
+        prop_assert_eq!(&iterated, &model);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Opening arbitrary bytes as a store never panics.
+    #[test]
+    fn open_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let path = temp_path();
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = StoreReader::open(&Backend::Host, &path);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,213 @@
+//! Reachability analysis ("points-to analysis", §5.3).
+//!
+//! GraalVM native-image determines the program elements to compile by a
+//! points-to analysis that "starts with all entry points and iteratively
+//! processes all transitively reachable classes, fields and methods"
+//! (Wimmer et al.). At the granularity of this model — methods and
+//! classes, no flow sensitivity — that is a fixed-point reachability
+//! computation over the call graph, which this module implements. Its
+//! results drive pruning: unreachable methods are not compiled into an
+//! image, and generated proxies whose methods are never called disappear
+//! entirely (the paper's automatic proxy pruning).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::class::{ClassDef, MethodRef};
+
+/// Result of a reachability analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Reachability {
+    /// Reachable methods.
+    pub methods: BTreeSet<MethodRef>,
+    /// Classes with at least one reachable method (or that are
+    /// instantiated by a reachable method).
+    pub classes: BTreeSet<String>,
+}
+
+impl Reachability {
+    /// Whether `class.method` is reachable.
+    pub fn contains_method(&self, class: &str, method: &str) -> bool {
+        self.methods.contains(&MethodRef::new(class, method))
+    }
+
+    /// Whether any part of `class` is reachable.
+    pub fn contains_class(&self, class: &str) -> bool {
+        self.classes.contains(class)
+    }
+}
+
+/// Computes the methods and classes transitively reachable from
+/// `entry_points` within `classes`.
+///
+/// Entry points that do not resolve in `classes` are ignored (they
+/// belong to the other image; cross-image edges flow through relay entry
+/// points instead, as in Fig. 2 of the paper).
+pub fn analyze(classes: &[ClassDef], entry_points: &[MethodRef]) -> Reachability {
+    let by_name: HashMap<&str, &ClassDef> =
+        classes.iter().map(|c| (c.name.as_str(), c)).collect();
+
+    let mut reach = Reachability::default();
+    let mut queue: VecDeque<MethodRef> = VecDeque::new();
+
+    for entry in entry_points {
+        if let Some(class) = by_name.get(entry.class.as_str()) {
+            if class.find_method(&entry.method).is_some() {
+                queue.push_back(entry.clone());
+            }
+        }
+    }
+
+    while let Some(mref) = queue.pop_front() {
+        if !reach.methods.insert(mref.clone()) {
+            continue;
+        }
+        reach.classes.insert(mref.class.clone());
+        let class = by_name[mref.class.as_str()];
+        let method = class.find_method(&mref.method).expect("queued methods resolve");
+        for edge in method.call_edges() {
+            // Edges into the other image do not resolve here and are
+            // intentionally dropped; the other image analyses them from
+            // its own relay entry points.
+            if let Some(target) = by_name.get(edge.class.as_str()) {
+                if target.find_method(&edge.method).is_some() {
+                    reach.classes.insert(edge.class.clone());
+                    queue.push_back(edge);
+                }
+            }
+        }
+    }
+    reach
+}
+
+/// Prunes `classes` to the reachable subset: unreachable classes are
+/// dropped entirely; reachable classes keep only reachable methods
+/// (fields are always kept — field layout is per class).
+pub fn prune(classes: Vec<ClassDef>, reach: &Reachability) -> Vec<ClassDef> {
+    classes
+        .into_iter()
+        .filter(|c| reach.contains_class(&c.name))
+        .map(|mut c| {
+            c.methods.retain(|m| reach.contains_method(&c.name, &m.name));
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::Trust;
+    use crate::class::{ClassRole, MethodDef, MethodKind};
+    use crate::samples::bank_program;
+    use crate::transform::transform;
+
+    #[test]
+    fn main_reaches_untrusted_classes_and_proxies() {
+        let tp = transform(&bank_program());
+        let mut untrusted_classes = tp.untrusted_set.clone();
+        untrusted_classes.extend(tp.neutral_set.clone());
+        let reach = analyze(&untrusted_classes, &[tp.main.clone()]);
+        // Fig. 2: main reaches Person methods and proxies for Account
+        // and AccountRegistry.
+        assert!(reach.contains_method("Person", "<init>"));
+        assert!(reach.contains_method("Person", "transfer"));
+        assert!(reach.contains_method("Account", "updateBalance"), "proxy method reachable");
+        assert!(reach.contains_method("AccountRegistry", "addAccount"));
+        // StringUtil is never called by main — pruned.
+        assert!(!reach.contains_class("StringUtil"));
+    }
+
+    #[test]
+    fn trusted_image_reaches_via_relays() {
+        let tp = transform(&bank_program());
+        let mut trusted_classes = tp.trusted_set.clone();
+        trusted_classes.extend(tp.neutral_set.clone());
+        let entries = tp.relay_entry_points(Trust::Trusted);
+        let reach = analyze(&trusted_classes, &entries);
+        assert!(reach.contains_method("Account", "updateBalance"));
+        assert!(reach.contains_method("AccountRegistry", "addAccount"));
+        // The Person proxy is NOT reachable from any trusted class
+        // (§5.3: "proxy class Person will not be included inside the
+        // trusted image").
+        assert!(!reach.contains_class("Person"));
+        assert!(!reach.contains_class("Main"));
+    }
+
+    #[test]
+    fn prune_drops_unreachable_proxies() {
+        let tp = transform(&bank_program());
+        let mut trusted_classes = tp.trusted_set.clone();
+        trusted_classes.extend(tp.neutral_set.clone());
+        let entries = tp.relay_entry_points(Trust::Trusted);
+        let reach = analyze(&trusted_classes, &entries);
+        let pruned = prune(trusted_classes, &reach);
+        assert!(pruned.iter().all(|c| c.role == ClassRole::Concrete || c.name != "Person"));
+        assert!(!pruned.iter().any(|c| c.name == "Person" || c.name == "Main"));
+        // Concrete trusted classes survive with their methods.
+        assert!(pruned.iter().any(|c| c.name == "Account"));
+    }
+
+    #[test]
+    fn analysis_is_monotone_in_entry_points() {
+        let tp = transform(&bank_program());
+        let mut classes = tp.untrusted_set.clone();
+        classes.extend(tp.neutral_set.clone());
+        let small = analyze(&classes, &[tp.main.clone()]);
+        let mut entries = vec![tp.main.clone()];
+        entries.push(MethodRef::new("StringUtil", "greet"));
+        let large = analyze(&classes, &entries);
+        assert!(small.methods.is_subset(&large.methods));
+        assert!(large.contains_class("StringUtil"));
+    }
+
+    #[test]
+    fn analysis_is_idempotent() {
+        let tp = transform(&bank_program());
+        let mut classes = tp.untrusted_set.clone();
+        classes.extend(tp.neutral_set.clone());
+        let first = analyze(&classes, &[tp.main.clone()]);
+        // Re-running from the same entries gives the same fixed point.
+        let second = analyze(&classes, &[tp.main.clone()]);
+        assert_eq!(first, second);
+        // Using every reached method as an entry changes nothing.
+        let entries: Vec<MethodRef> = first.methods.iter().cloned().collect();
+        let third = analyze(&classes, &entries);
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn missing_entry_points_are_ignored() {
+        let classes = vec![ClassDef::new("A").method(MethodDef::interpreted(
+            "m",
+            MethodKind::Static,
+            0,
+            0,
+            vec![],
+        ))];
+        let reach = analyze(&classes, &[MethodRef::new("Ghost", "m"), MethodRef::new("A", "m")]);
+        assert!(reach.contains_method("A", "m"));
+        assert!(!reach.contains_class("Ghost"));
+    }
+
+    #[test]
+    fn cyclic_call_graphs_terminate() {
+        let a = ClassDef::new("A").method(MethodDef {
+            name: "f".into(),
+            kind: MethodKind::Static,
+            param_count: 0,
+            locals: 0,
+            body: crate::class::MethodBody::Instrs(vec![]),
+            declared_calls: vec![MethodRef::new("B", "g")],
+        });
+        let b = ClassDef::new("B").method(MethodDef {
+            name: "g".into(),
+            kind: MethodKind::Static,
+            param_count: 0,
+            locals: 0,
+            body: crate::class::MethodBody::Instrs(vec![]),
+            declared_calls: vec![MethodRef::new("A", "f")],
+        });
+        let reach = analyze(&[a, b], &[MethodRef::new("A", "f")]);
+        assert_eq!(reach.methods.len(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! The partitioning language: class-level trust annotations (§5.1).
+//!
+//! Montsalvat argues that class boundaries are the intuitive place to
+//! reason about security and avoids the expensive data-flow analysis that
+//! method- or data-level annotation schemes (Uranus, Glamdring) require.
+//! Two principal annotations exist — `@Trusted` and `@Untrusted` — plus
+//! an optional `@Neutral` default for utility classes that may be freely
+//! copied into either runtime.
+
+use std::fmt;
+
+/// Trust annotation of a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Trust {
+    /// `@Trusted`: instances live only on the enclave heap; all methods
+    /// execute inside the enclave.
+    Trusted,
+    /// `@Untrusted`: instances live only on the untrusted heap; all
+    /// methods execute outside the enclave.
+    Untrusted,
+    /// `@Neutral` (the default for unannotated classes): not
+    /// security-sensitive; instances may exist in both runtimes and are
+    /// copied by value when crossing the boundary.
+    #[default]
+    Neutral,
+}
+
+impl Trust {
+    /// Whether the class is annotated (trusted or untrusted), i.e. is
+    /// pinned to one runtime and proxied in the other.
+    pub fn is_annotated(&self) -> bool {
+        !matches!(self, Trust::Neutral)
+    }
+
+    /// The runtime this class's concrete instances live in, if pinned.
+    pub fn home_side(&self) -> Option<Side> {
+        match self {
+            Trust::Trusted => Some(Side::Trusted),
+            Trust::Untrusted => Some(Side::Untrusted),
+            Trust::Neutral => None,
+        }
+    }
+
+    /// The annotation's Java-source rendering, e.g. `@Trusted`.
+    pub fn annotation_name(&self) -> &'static str {
+        match self {
+            Trust::Trusted => "@Trusted",
+            Trust::Untrusted => "@Untrusted",
+            Trust::Neutral => "@Neutral",
+        }
+    }
+}
+
+impl fmt::Display for Trust {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.annotation_name())
+    }
+}
+
+/// One of the two runtimes of a partitioned application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Inside the enclave.
+    Trusted,
+    /// Outside the enclave.
+    Untrusted,
+}
+
+impl Side {
+    /// The other runtime.
+    pub fn opposite(&self) -> Side {
+        match self {
+            Side::Trusted => Side::Untrusted,
+            Side::Untrusted => Side::Trusted,
+        }
+    }
+
+    /// Conventional isolate name for this side.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Side::Trusted => "trusted",
+            Side::Untrusted => "untrusted",
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_is_default_and_unannotated() {
+        assert_eq!(Trust::default(), Trust::Neutral);
+        assert!(!Trust::Neutral.is_annotated());
+        assert!(Trust::Trusted.is_annotated());
+        assert!(Trust::Untrusted.is_annotated());
+    }
+
+    #[test]
+    fn home_sides() {
+        assert_eq!(Trust::Trusted.home_side(), Some(Side::Trusted));
+        assert_eq!(Trust::Untrusted.home_side(), Some(Side::Untrusted));
+        assert_eq!(Trust::Neutral.home_side(), None);
+    }
+
+    #[test]
+    fn sides_are_opposites() {
+        assert_eq!(Side::Trusted.opposite(), Side::Untrusted);
+        assert_eq!(Side::Untrusted.opposite(), Side::Trusted);
+        assert_eq!(Side::Trusted.opposite().opposite(), Side::Trusted);
+    }
+
+    #[test]
+    fn display_matches_java_annotations() {
+        assert_eq!(Trust::Trusted.to_string(), "@Trusted");
+        assert_eq!(Side::Trusted.to_string(), "trusted");
+    }
+}

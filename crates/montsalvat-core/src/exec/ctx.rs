@@ -1,0 +1,912 @@
+//! The execution context and cross-world dispatch (§5.2–§5.5 at run time).
+//!
+//! All method execution funnels through [`exec_method`]:
+//!
+//! - interpreted bodies run in [`crate::exec::interp`];
+//! - native bodies receive a [`Ctx`] handle;
+//! - **proxy bodies** marshal their arguments and perform an
+//!   ecall/ocall to the corresponding relay in the opposite world;
+//! - **relay bodies** are executed only by the receiving side of a
+//!   crossing: constructor relays instantiate the mirror and register it
+//!   in the mirror-proxy registry; instance relays look the mirror up by
+//!   the proxy hash and forward the call.
+//!
+//! ## Argument marshalling
+//!
+//! Crossing arguments are classified per the paper: primitives travel by
+//! value, *neutral* objects are serialized (deep copy), and annotated
+//! objects travel as proxy hashes. A hash is resolved on the receiving
+//! side to the local mirror (if the object's home is there) or to a
+//! local proxy (created on first sight). Concrete annotated objects that
+//! cross for the first time are *exported*: registered in their home
+//! world's registry under a fresh hash so the remote proxy keeps them
+//! alive (§5.5's strong-reference rule).
+//!
+//! ## Rooting discipline
+//!
+//! The copying collector only honours rooted references. Every value a
+//! frame holds is rooted for the frame's lifetime ([`Ctx`] is dropped =>
+//! roots released). Values returned from calls carry one *in-flight*
+//! root per contained reference, which the caller adopts into its frame.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rmi::codec::{self, CodecError, RefEncoding};
+use rmi::hash::ProxyHash;
+use runtime_sim::heap::{GcOutcome, Heap};
+use runtime_sim::value::{ObjId, Value};
+
+use crate::annotation::Side;
+use crate::class::{ClassRole, MethodBody, MethodDef, MethodKind, CTOR};
+use crate::error::VmError;
+use crate::exec::app::AppShared;
+use crate::exec::interp;
+use crate::exec::world::{ClassInfo, IoFile, World};
+use crate::transform::{edge_routine_name, relay_name};
+
+/// Execution context handed to native method bodies and the interpreter.
+///
+/// A `Ctx` is one *frame*: references it roots stay live until the frame
+/// ends. Obtain one through
+/// [`PartitionedApp::enter_untrusted`](crate::exec::app::PartitionedApp::enter_untrusted)
+/// or receive one in a [`NativeFn`](crate::class::NativeFn) body.
+pub struct Ctx<'a> {
+    pub(crate) app: &'a AppShared,
+    pub(crate) world: Arc<World>,
+    frame_roots: Vec<ObjId>,
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("side", &self.world.side)
+            .field("frame_roots", &self.frame_roots.len())
+            .finish()
+    }
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(app: &'a AppShared, world: Arc<World>) -> Self {
+        Ctx { app, world, frame_roots: Vec::new() }
+    }
+
+    /// The runtime this frame executes in.
+    pub fn side(&self) -> Side {
+        self.world.side
+    }
+
+    /// Whether this frame executes inside the enclave.
+    pub fn in_enclave(&self) -> bool {
+        self.world.in_enclave
+    }
+
+    /// Reading of the application's simulation clock (real elapsed time
+    /// plus modelled charges) — the clock experiments measure with.
+    pub fn cost_now(&self) -> std::time::Duration {
+        self.app.cost.now()
+    }
+
+    /// Total modelled charges so far (pure model time, excluding the
+    /// simulator's own execution overhead) — what the micro-benchmarks
+    /// measure deltas of.
+    pub fn cost_charged(&self) -> std::time::Duration {
+        self.app.cost.charged()
+    }
+
+    /// Takes ownership of a value's in-flight roots into this frame.
+    pub(crate) fn adopt(&mut self, v: &Value) {
+        v.for_each_ref(&mut |id| self.frame_roots.push(id));
+    }
+
+    /// Roots a value's references in this frame (adds fresh roots).
+    pub(crate) fn root_value(&mut self, v: &Value) {
+        let mut ids = Vec::new();
+        v.for_each_ref(&mut |id| ids.push(id));
+        if !ids.is_empty() {
+            self.world.isolate.with_heap(|h| {
+                for &id in &ids {
+                    h.add_root(id);
+                }
+            });
+            self.frame_roots.extend(ids);
+        }
+    }
+
+    /// Instantiates `class_name` with `args` (the `new` operator).
+    ///
+    /// For a proxy class this creates the local proxy and performs the
+    /// constructor crossing that materialises the mirror (§5.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown classes, arity mismatches, crossing failures
+    /// and allocation failure.
+    pub fn new_object(&mut self, class_name: &str, args: &[Value]) -> Result<Value, VmError> {
+        let v = construct(self.app, &self.world, class_name, args)?;
+        self.adopt(&v);
+        Ok(v)
+    }
+
+    /// Invokes `method` on `recv` with dynamic dispatch. Proxy receivers
+    /// cross the boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown methods, arity mismatches and crossing
+    /// failures.
+    pub fn call(&mut self, recv: &Value, method: &str, args: &[Value]) -> Result<Value, VmError> {
+        let id = recv
+            .as_ref_id()
+            .ok_or_else(|| VmError::Type(format!("receiver of `{method}` is not an object")))?;
+        let class = self.world.class_of_obj(id)?.clone();
+        let def = class
+            .def
+            .find_method(method)
+            .ok_or_else(|| VmError::UnknownMethod {
+                class: class.def.name.clone(),
+                method: method.to_owned(),
+            })?
+            .clone();
+        let v = exec_method(self.app, &self.world, &class, &def, Some(id), args)?;
+        self.adopt(&v);
+        Ok(v)
+    }
+
+    /// Invokes a static method of `class_name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown classes/methods, arity mismatches and crossing
+    /// failures.
+    pub fn call_static(
+        &mut self,
+        class_name: &str,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, VmError> {
+        let class = self.world.class_by_name(class_name)?.clone();
+        let def = class
+            .def
+            .find_method(method)
+            .ok_or_else(|| VmError::UnknownMethod {
+                class: class_name.to_owned(),
+                method: method.to_owned(),
+            })?
+            .clone();
+        if def.kind != MethodKind::Static {
+            return Err(VmError::Type(format!("`{class_name}.{method}` is not static")));
+        }
+        let v = exec_method(self.app, &self.world, &class, &def, None, args)?;
+        self.adopt(&v);
+        Ok(v)
+    }
+
+    /// Reads a field of a concrete local object.
+    ///
+    /// # Errors
+    ///
+    /// Fails for proxies (their state lives in the opposite runtime;
+    /// the encapsulation assumption of §5.1 routes access through
+    /// methods) and for unknown fields.
+    pub fn get_field(&mut self, obj: &Value, field: &str) -> Result<Value, VmError> {
+        let id = obj
+            .as_ref_id()
+            .ok_or_else(|| VmError::Type(format!("field `{field}` read on a non-object")))?;
+        let class = self.world.class_of_obj(id)?.clone();
+        if class.def.role == ClassRole::Proxy {
+            return Err(VmError::Type(format!(
+                "cannot read field `{field}` of proxy `{}`; call an accessor method",
+                class.def.name
+            )));
+        }
+        let idx = class.def.field_index(field).ok_or_else(|| VmError::UnknownField {
+            class: class.def.name.clone(),
+            field: field.to_owned(),
+        })?;
+        let v = self
+            .world
+            .isolate
+            .with_heap(|h| h.field(id, idx).cloned())
+            .ok_or_else(|| VmError::BadRef(format!("{id} died mid-read")))?;
+        self.root_value(&v);
+        Ok(v)
+    }
+
+    /// Writes a field of a concrete local object.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Ctx::get_field`].
+    pub fn set_field(&mut self, obj: &Value, field: &str, value: Value) -> Result<(), VmError> {
+        let id = obj
+            .as_ref_id()
+            .ok_or_else(|| VmError::Type(format!("field `{field}` write on a non-object")))?;
+        let class = self.world.class_of_obj(id)?.clone();
+        if class.def.role == ClassRole::Proxy {
+            return Err(VmError::Type(format!(
+                "cannot write field `{field}` of proxy `{}`",
+                class.def.name
+            )));
+        }
+        let idx = class.def.field_index(field).ok_or_else(|| VmError::UnknownField {
+            class: class.def.name.clone(),
+            field: field.to_owned(),
+        })?;
+        let ok = self.world.isolate.with_heap(|h| h.set_field(id, idx, value));
+        if ok {
+            Ok(())
+        } else {
+            Err(VmError::BadRef(format!("{id} died mid-write")))
+        }
+    }
+
+    /// Writes `bytes` of scratch data to this world's file: direct host
+    /// I/O outside the enclave, one ocall per write inside it (§5.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates relayed/host I/O failures.
+    pub fn io_write(&mut self, bytes: usize) -> Result<(), VmError> {
+        let world = Arc::clone(&self.world);
+        let mut io = world.io.lock();
+        if io.file.is_none() {
+            io.file = Some(open_scratch(self.app, &world)?);
+        }
+        if io.buf.len() < bytes {
+            io.buf.resize(bytes, 0xA5);
+        }
+        let crate::exec::world::WorldIo { file, buf, bytes_written } = &mut *io;
+        file.as_mut().expect("opened above").write_all(&buf[..bytes])?;
+        *bytes_written += bytes as u64;
+        Ok(())
+    }
+
+    /// Reads up to `bytes` of scratch data back (from the start of the
+    /// scratch file). Returns the number of bytes actually read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relayed/host I/O failures.
+    pub fn io_read(&mut self, bytes: usize) -> Result<usize, VmError> {
+        let world = Arc::clone(&self.world);
+        let mut io = world.io.lock();
+        let n = (io.bytes_written.min(bytes as u64)) as usize;
+        if n == 0 {
+            return Ok(0);
+        }
+        if io.buf.len() < n {
+            io.buf.resize(n, 0);
+        }
+        let crate::exec::world::WorldIo { file, buf, .. } = &mut *io;
+        let file = file.as_mut().expect("reads follow writes");
+        file.seek(std::io::SeekFrom::Start(0))?;
+        file.read_exact(&mut buf[..n])?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(n)
+    }
+
+    /// Runs a CPU kernel with the given working set, applying the
+    /// enclave's MEE costs (first-touch encryption of the working set,
+    /// plus the compute surcharge when the set spills the LLC) and the
+    /// world's execution-model factor.
+    pub fn compute(&mut self, working_set_bytes: usize, passes: u32) -> f64 {
+        self.compute_with(working_set_bytes, || compute_kernel(working_set_bytes, passes))
+    }
+
+    /// Runs an arbitrary compute closure under the same enclave/compute
+    /// cost model as [`Ctx::compute`]. Used by native workloads that
+    /// bring their own kernels (FFT, PageRank, ...).
+    pub fn compute_with<R>(&mut self, working_set_bytes: usize, f: impl FnOnce() -> R) -> R {
+        let started = Instant::now();
+        let out = if self.world.in_enclave {
+            // First touch of the working set moves it through the MEE.
+            self.app.enclave.charge_heap_traffic(working_set_bytes as u64);
+            self.app.enclave.run_compute(working_set_bytes as u64, f)
+        } else {
+            f()
+        };
+        let factor = self.world.exec_model.compute_factor;
+        if factor > 1.0 {
+            let extra = (started.elapsed().as_nanos() as f64 * (factor - 1.0)) as u64;
+            self.app.cost.charge_ns(extra);
+        }
+        out
+    }
+
+    /// Charges `ns` of *modelled application compute* (work the real
+    /// system would execute but the substrate replaces with a model,
+    /// e.g. a managed engine's per-edge object churn). The charge is
+    /// scaled by the world's execution-model factor (JVM baseline) and,
+    /// inside the enclave, by the MEE compute factor — the same scaling
+    /// real compute receives.
+    pub fn charge_compute_ns(&mut self, ns: u64) {
+        let mut total = ns as f64 * self.world.exec_model.compute_factor;
+        if self.world.in_enclave {
+            total *= self.app.cost.params().mee_compute_factor;
+        }
+        self.app.cost.charge_ns(total as u64);
+    }
+
+    /// The I/O backend matching this frame's placement: host I/O
+    /// outside the enclave, shim-relayed I/O inside. Native workload
+    /// bodies (the KV store, the graph sharder/engine) obtain their
+    /// file handles through this, so annotating their class moves their
+    /// I/O to the right side automatically.
+    pub fn io_backend(&self) -> sgx_sim::shim::IoBackend {
+        if self.world.in_enclave {
+            sgx_sim::shim::IoBackend::Enclave(Arc::clone(&self.app.enclave))
+        } else {
+            sgx_sim::shim::IoBackend::Host
+        }
+    }
+
+    /// Releases this frame's roots on a value, making the referenced
+    /// objects eligible for collection before the frame ends (used by
+    /// GC experiments to drop proxies mid-frame).
+    pub fn forget(&mut self, v: &Value) {
+        let mut ids = Vec::new();
+        v.for_each_ref(&mut |id| ids.push(id));
+        for id in ids {
+            if let Some(pos) = self.frame_roots.iter().position(|&r| r == id) {
+                self.frame_roots.swap_remove(pos);
+                self.world.isolate.with_heap(|h| h.remove_root(id));
+            }
+        }
+    }
+
+    /// Allocates a `bytes`-sized managed byte blob, rooted in this
+    /// frame (benchmark live-set pressure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates managed-heap exhaustion.
+    pub fn alloc_blob(&mut self, bytes: usize) -> Result<Value, VmError> {
+        let id = self.world.isolate.with_heap(|h| {
+            let id = h.alloc(
+                runtime_sim::value::ClassId(u32::MAX),
+                vec![Value::Bytes(vec![0u8; bytes])],
+            )?;
+            h.add_root(id);
+            Ok::<_, runtime_sim::heap::OutOfMemory>(id)
+        })?;
+        self.frame_roots.push(id);
+        Ok(Value::Ref(id))
+    }
+
+    /// Allocates `total_bytes` of immediately-garbage managed objects in
+    /// `chunk_bytes` chunks (benchmark allocation pressure; drives the
+    /// collector and, in-enclave, MEE/EPC charges).
+    pub fn alloc_garbage(&mut self, total_bytes: u64, chunk_bytes: usize) {
+        let chunk = chunk_bytes.max(16);
+        let n = (total_bytes / chunk as u64).max(1);
+        self.world.isolate.with_heap(|h| {
+            for _ in 0..n {
+                // Unrooted: eligible as soon as allocated.
+                let _ = h.alloc(
+                    runtime_sim::value::ClassId(u32::MAX),
+                    vec![Value::Bytes(vec![0u8; chunk])],
+                );
+            }
+        });
+    }
+
+    /// Forces a stop-and-copy collection of this world's heap.
+    pub fn collect_garbage(&mut self) -> GcOutcome {
+        self.world.isolate.with_heap(|h| h.collect())
+    }
+
+    /// Escape hatch: exclusive access to this world's heap. References
+    /// created here must be rooted by the caller (e.g. via frames).
+    pub fn with_heap<R>(&mut self, f: impl FnOnce(&mut Heap) -> R) -> R {
+        self.world.isolate.with_heap(f)
+    }
+}
+
+impl Drop for Ctx<'_> {
+    fn drop(&mut self) {
+        if self.frame_roots.is_empty() {
+            return;
+        }
+        let roots = std::mem::take(&mut self.frame_roots);
+        self.world.isolate.with_heap(|h| {
+            for id in roots {
+                h.remove_root(id);
+            }
+        });
+    }
+}
+
+/// The dense float kernel behind [`Ctx::compute`].
+fn compute_kernel(working_set_bytes: usize, passes: u32) -> f64 {
+    let n = (working_set_bytes / 8).max(1);
+    let mut data: Vec<f64> = (0..n).map(|i| (i % 977) as f64 * 0.5).collect();
+    let mut acc = 0.0f64;
+    for p in 0..passes {
+        let c = 0.3 + p as f64 * 1e-9;
+        for x in data.iter_mut() {
+            *x = x.mul_add(1.000_000_1, c);
+        }
+        acc += data[p as usize % n];
+    }
+    std::hint::black_box(acc)
+}
+
+fn open_scratch(app: &AppShared, world: &World) -> Result<IoFile, VmError> {
+    if world.in_enclave {
+        Ok(IoFile::Shim(sgx_sim::shim::ShimFile::create(
+            Arc::clone(&app.enclave),
+            &world.scratch_path,
+        )?))
+    } else {
+        Ok(IoFile::Host(sgx_sim::shim::HostFile::create(&world.scratch_path)?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------
+
+/// A marshalled crossing message: receiver hash, class hints for every
+/// hash reference in the payload, and the codec-encoded payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WireMsg {
+    pub recv_hash: Option<ProxyHash>,
+    pub hints: Vec<(ProxyHash, String)>,
+    pub payload: Vec<u8>,
+}
+
+impl WireMsg {
+    /// Total bytes that cross the boundary for this message.
+    pub(crate) fn wire_len(&self) -> usize {
+        17 + self.hints.iter().map(|(_, c)| 20 + c.len()).sum::<usize>() + 4 + self.payload.len()
+    }
+}
+
+/// Marshals `values` for a crossing out of `world`.
+///
+/// Neutral objects inline; annotated objects export/reuse a hash.
+fn marshal(app: &AppShared, world: &World, values: &[Value]) -> Result<WireMsg, VmError> {
+    // Pass 1: find annotated references reachable through inline
+    // (neutral) structure.
+    let mut annotated: Vec<ObjId> = Vec::new();
+    {
+        let heap = world.isolate.lock_heap();
+        let mut stack: Vec<Value> = values.to_vec();
+        let mut visited: std::collections::HashSet<ObjId> = std::collections::HashSet::new();
+        while let Some(v) = stack.pop() {
+            let mut refs = Vec::new();
+            v.for_each_ref(&mut |id| refs.push(id));
+            for id in refs {
+                if !visited.insert(id) {
+                    continue;
+                }
+                let class_id = heap
+                    .class_of(id)
+                    .ok_or_else(|| VmError::BadRef(format!("{id} is dead at marshal")))?;
+                let info = world
+                    .classes
+                    .by_id(class_id)
+                    .ok_or_else(|| VmError::BadRef(format!("{id}: unknown class")))?;
+                if info.def.trust.is_annotated() {
+                    annotated.push(id);
+                } else {
+                    for f in heap.fields(id).expect("live object has fields") {
+                        stack.push(f.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: ensure every annotated object has a hash (reading proxy
+    // hashes, exporting concrete objects on first crossing).
+    let mut hash_map: std::collections::HashMap<ObjId, ProxyHash> = Default::default();
+    let mut hints: Vec<(ProxyHash, String)> = Vec::new();
+    {
+        let mut rmi = world.rmi.lock();
+        let mut heap = world.isolate.lock_heap();
+        for id in annotated {
+            let info = world.classes.by_id(heap.class_of(id).expect("live")).expect("indexed");
+            let hash = if info.def.role == ClassRole::Proxy {
+                read_proxy_hash(&heap, id)?
+            } else if let Some(&h) = rmi.hash_of.get(&id) {
+                h
+            } else {
+                let h = world.hasher.next_hash();
+                rmi.registry.register(&mut heap, h, id);
+                rmi.hash_of.insert(id, h);
+                h
+            };
+            hints.push((hash, info.def.name.clone()));
+            hash_map.insert(id, hash);
+        }
+    }
+
+    // Pass 3: encode with a pure policy.
+    let payload = {
+        let heap = world.isolate.lock_heap();
+        codec::encode_value(&heap, &Value::List(values.to_vec()), &mut |id| {
+            match hash_map.get(&id) {
+                Some(&h) => Ok(RefEncoding::Hash(h)),
+                None => Ok(RefEncoding::Inline),
+            }
+        })?
+    };
+    // Serialization walks the object graph; inside the enclave every
+    // read goes through the MEE, hence the enclave factor on encode.
+    charge_serde(app, world, payload.len(), true);
+    Ok(WireMsg { recv_hash: None, hints, payload })
+}
+
+/// Reads the `__hash` field of a proxy object.
+fn read_proxy_hash(heap: &Heap, proxy: ObjId) -> Result<ProxyHash, VmError> {
+    match heap.field(proxy, 0) {
+        Some(Value::Bytes(b)) if b.len() == 16 => {
+            let mut raw = [0u8; 16];
+            raw.copy_from_slice(b);
+            Ok(ProxyHash(u128::from_le_bytes(raw)))
+        }
+        _ => Err(VmError::BadRef(format!("{proxy} has no proxy hash"))),
+    }
+}
+
+fn hash_value(hash: ProxyHash) -> Value {
+    Value::Bytes(hash.0.to_le_bytes().to_vec())
+}
+
+/// Unmarshals a message into `world`. Returns the decoded values plus
+/// the pin list (temporary roots) the caller must release after taking
+/// in-flight roots on whatever it keeps.
+fn unmarshal(
+    app: &AppShared,
+    world: &World,
+    msg: &WireMsg,
+) -> Result<(Vec<Value>, Vec<ObjId>), VmError> {
+    let mut pins: Vec<ObjId> = Vec::new();
+    let mut by_hash: std::collections::HashMap<ProxyHash, ObjId> = Default::default();
+
+    // Resolve every hinted hash to a local object: the mirror if its
+    // home is here, an existing live proxy, or a freshly created proxy.
+    {
+        let mut rmi = world.rmi.lock();
+        let mut heap = world.isolate.lock_heap();
+        for (hash, class_name) in &msg.hints {
+            if let Some(mirror) = rmi.registry.get(*hash) {
+                by_hash.insert(*hash, mirror);
+                continue;
+            }
+            if let Some(&proxy) = rmi.proxies.get(hash) {
+                if heap.is_live(proxy) {
+                    heap.add_root(proxy);
+                    pins.push(proxy);
+                    by_hash.insert(*hash, proxy);
+                    continue;
+                }
+            }
+            let info = world.classes.by_name(class_name).ok_or_else(|| {
+                VmError::UnknownClass(format!("{class_name} (from crossing hint)"))
+            })?;
+            if info.def.role != ClassRole::Proxy {
+                return Err(VmError::BadRef(format!(
+                    "hash hint for `{class_name}` does not name a proxy class here"
+                )));
+            }
+            let proxy = heap.alloc(info.id, vec![hash_value(*hash)])?;
+            heap.add_root(proxy);
+            pins.push(proxy);
+            rmi.proxies.insert(*hash, proxy);
+            rmi.weaklist.track(&mut heap, proxy, *hash);
+            world.stats.count_proxy();
+            by_hash.insert(*hash, proxy);
+        }
+    }
+
+    // Decode the payload with a pure resolver.
+    let decoded = {
+        let mut heap = world.isolate.lock_heap();
+        codec::decode_value(&mut heap, &msg.payload, &mut |h| {
+            by_hash.get(&h).map(|&id| Value::Ref(id)).ok_or(CodecError::UnknownHash(h))
+        })?
+    };
+    // Decoding streams a linear buffer; enclave writes are charged by
+    // the heap observer, so no extra factor here.
+    charge_serde(app, world, msg.payload.len(), false);
+    pins.extend(decoded.allocated.iter().copied());
+    match decoded.value {
+        Value::List(vs) => Ok((vs, pins)),
+        other => Ok((vec![other], pins)),
+    }
+}
+
+/// Charges serialization work for `bytes`; encodes performed inside the
+/// enclave pay the enclave factor (MEE reads along the graph walk).
+fn charge_serde(app: &AppShared, world: &World, bytes: usize, encoding: bool) {
+    let params = app.cost.params();
+    let factor = if encoding && world.in_enclave { params.serde_enclave_factor } else { 1.0 };
+    app.cost.charge_ns((bytes as f64 * params.serde_ns_per_byte * factor) as u64);
+}
+
+fn release_pins(world: &World, pins: &[ObjId]) {
+    if pins.is_empty() {
+        return;
+    }
+    world.isolate.with_heap(|h| {
+        for &id in pins {
+            h.remove_root(id);
+        }
+    });
+}
+
+fn promote(world: &World, v: &Value) {
+    world.isolate.with_heap(|h| {
+        v.for_each_ref(&mut |id| h.add_root(id));
+    });
+}
+
+fn release(world: &World, v: &Value) {
+    world.isolate.with_heap(|h| {
+        v.for_each_ref(&mut |id| h.remove_root(id));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+/// Executes a method. The returned value carries one in-flight root per
+/// contained reference, which the caller must adopt or release.
+pub(crate) fn exec_method(
+    app: &AppShared,
+    world: &Arc<World>,
+    class: &ClassInfo,
+    method: &MethodDef,
+    this: Option<ObjId>,
+    args: &[Value],
+) -> Result<Value, VmError> {
+    if args.len() != method.param_count {
+        return Err(VmError::Arity {
+            class: class.def.name.clone(),
+            method: method.name.clone(),
+            expected: method.param_count,
+            got: args.len(),
+        });
+    }
+    if world.exec_model.call_overhead_ns > 0 {
+        app.cost.charge_ns(world.exec_model.call_overhead_ns);
+    }
+    match &method.body {
+        MethodBody::Instrs(instrs) => {
+            let mut ctx = Ctx::new(app, Arc::clone(world));
+            let out = interp::run(&mut ctx, &class.def, method, instrs, this, args)?;
+            promote(world, &out);
+            Ok(out)
+        }
+        MethodBody::Native(f) => {
+            let mut ctx = Ctx::new(app, Arc::clone(world));
+            let out = f(&mut ctx, this, args)?;
+            promote(world, &out);
+            Ok(out)
+        }
+        MethodBody::ProxyCall { relay } => {
+            let recv_hash = match this {
+                Some(proxy) => {
+                    let heap = world.isolate.lock_heap();
+                    Some(read_proxy_hash(&heap, proxy)?)
+                }
+                None => None,
+            };
+            cross_call(app, world, &class.def.name, relay, recv_hash, args)
+        }
+        MethodBody::Relay { .. } => Err(VmError::Type(format!(
+            "relay `{}.{}` is an entry point; it is invoked by crossings only",
+            class.def.name, method.name
+        ))),
+    }
+}
+
+/// Constructs an instance of `class_name` in (or via) `world`. Returned
+/// reference carries an in-flight root.
+pub(crate) fn construct(
+    app: &AppShared,
+    world: &Arc<World>,
+    class_name: &str,
+    args: &[Value],
+) -> Result<Value, VmError> {
+    let info = world.class_by_name(class_name)?.clone();
+    if info.def.role == ClassRole::Proxy {
+        construct_proxy(app, world, &info, args)
+    } else {
+        construct_local(app, world, &info, args)
+    }
+}
+
+/// Allocates and initialises a concrete object locally.
+fn construct_local(
+    app: &AppShared,
+    world: &Arc<World>,
+    info: &ClassInfo,
+    args: &[Value],
+) -> Result<Value, VmError> {
+    let nfields = info.def.fields.len();
+    let obj = world.isolate.with_heap(|h| {
+        let id = h.alloc(info.id, vec![Value::Unit; nfields])?;
+        h.add_root(id); // in-flight
+        Ok::<_, runtime_sim::heap::OutOfMemory>(id)
+    })?;
+    if let Some(ctor) = info.def.find_method(CTOR).cloned() {
+        match exec_method(app, world, info, &ctor, Some(obj), args) {
+            Ok(ret) => release(world, &ret), // constructors return unit
+            Err(e) => {
+                world.isolate.with_heap(|h| h.remove_root(obj));
+                return Err(e);
+            }
+        }
+    } else if !args.is_empty() {
+        world.isolate.with_heap(|h| h.remove_root(obj));
+        return Err(VmError::Arity {
+            class: info.def.name.clone(),
+            method: CTOR.into(),
+            expected: 0,
+            got: args.len(),
+        });
+    }
+    Ok(Value::Ref(obj))
+}
+
+/// Creates a proxy locally and crosses to materialise its mirror.
+fn construct_proxy(
+    app: &AppShared,
+    world: &Arc<World>,
+    info: &ClassInfo,
+    args: &[Value],
+) -> Result<Value, VmError> {
+    let hash = world.hasher.next_hash();
+    let proxy = {
+        let mut rmi = world.rmi.lock();
+        let mut heap = world.isolate.lock_heap();
+        let proxy = heap.alloc(info.id, vec![hash_value(hash)])?;
+        heap.add_root(proxy); // in-flight
+        rmi.proxies.insert(hash, proxy);
+        rmi.weaklist.track(&mut heap, proxy, hash);
+        world.stats.count_proxy();
+        proxy
+    };
+    match cross_call(app, world, &info.def.name, &relay_name(CTOR), Some(hash), args) {
+        Ok(ret) => {
+            release(world, &ret);
+            Ok(Value::Ref(proxy))
+        }
+        Err(e) => {
+            world.isolate.with_heap(|h| h.remove_root(proxy));
+            Err(e)
+        }
+    }
+}
+
+/// Performs one boundary crossing: marshal, transition, relay dispatch
+/// in the opposite world, and return-value unmarshal.
+fn cross_call(
+    app: &AppShared,
+    caller: &Arc<World>,
+    class_name: &str,
+    relay: &str,
+    recv_hash: Option<ProxyHash>,
+    args: &[Value],
+) -> Result<Value, VmError> {
+    let callee = Arc::clone(app.world(caller.side.opposite()));
+    let mut msg = marshal(app, caller, args)?;
+    msg.recv_hash = recv_hash;
+    caller.stats.count_rmi(msg.payload.len() as u64);
+
+    let trust = callee.side;
+    let routine = edge_routine_name(
+        match trust {
+            Side::Trusted => crate::annotation::Trust::Trusted,
+            Side::Untrusted => crate::annotation::Trust::Untrusted,
+        },
+        class_name,
+        relay,
+    );
+    let wire_len = msg.wire_len();
+
+    // Switchless mode (§7 future work): post to the opposite side's
+    // resident worker instead of performing a hardware transition.
+    let pool = app.switchless.lock().clone();
+    let ret_msg = if let Some(pool) = pool {
+        let params = app.cost.params();
+        // Hand-off + the boundary copy; no transition, no relay stack.
+        app.cost.charge_ns(
+            params.switchless_call_ns
+                + (wire_len as f64 * params.copy_ns_per_byte) as u64,
+        );
+        caller.stats.count_switchless();
+        pool.call(trust, class_name.to_owned(), relay.to_owned(), recv_hash, msg.clone())?
+    } else {
+        // The relay software itself (isolate attach, edge-routine
+        // marshalling, registry work) on top of the raw transition.
+        app.cost.charge_ns(app.cost.params().relay_overhead_ns);
+        let serve = || serve_relay(app, &callee, class_name, relay, &msg);
+        let served: Result<WireMsg, VmError> = match trust {
+            Side::Trusted => app.enclave.ecall(&routine, wire_len, serve)?,
+            Side::Untrusted => app.enclave.ocall(&routine, wire_len, serve)?,
+        };
+        served?
+    };
+
+    // Decode the return value in the caller's world.
+    let (mut rets, pins) = unmarshal(app, caller, &ret_msg)?;
+    let ret = rets.pop().unwrap_or(Value::Unit);
+    promote(caller, &ret);
+    release_pins(caller, &pins);
+    Ok(ret)
+}
+
+/// Receiving side of a crossing: dispatches a relay method.
+pub(crate) fn serve_relay(
+    app: &AppShared,
+    callee: &Arc<World>,
+    class_name: &str,
+    relay: &str,
+    msg: &WireMsg,
+) -> Result<WireMsg, VmError> {
+    let info = callee.class_by_name(class_name)?.clone();
+    let relay_def = info
+        .def
+        .find_method(relay)
+        .ok_or_else(|| {
+            VmError::Sgx(sgx_sim::SgxError::InterfaceMismatch {
+                routine: format!("{class_name}.{relay}"),
+            })
+        })?
+        .clone();
+    let MethodBody::Relay { target, is_ctor } = &relay_def.body else {
+        return Err(VmError::Type(format!("`{class_name}.{relay}` is not a relay")));
+    };
+    let target_def = info
+        .def
+        .find_method(target)
+        .ok_or_else(|| VmError::UnknownMethod { class: class_name.into(), method: target.clone() })?
+        .clone();
+
+    let (args, pins) = unmarshal(app, callee, msg)?;
+
+    let result: Result<Value, VmError> = if *is_ctor {
+        let hash = msg.recv_hash.ok_or_else(|| {
+            VmError::BadRef(format!("constructor relay `{relay}` without a proxy hash"))
+        })?;
+        let mirror_val = construct_local(app, callee, &info, &args)?;
+        let mirror = mirror_val.as_ref_id().expect("construct returns a reference");
+        {
+            let mut rmi = callee.rmi.lock();
+            let mut heap = callee.isolate.lock_heap();
+            rmi.registry.register(&mut heap, hash, mirror);
+            rmi.hash_of.insert(mirror, hash);
+            callee.stats.count_mirror();
+        }
+        // The registry holds the mirror now; drop the in-flight root and
+        // return unit (the caller already holds the proxy).
+        release(callee, &mirror_val);
+        Ok(Value::Unit)
+    } else if target_def.kind == MethodKind::Static {
+        exec_method(app, callee, &info, &target_def, None, &args)
+    } else {
+        let hash = msg.recv_hash.ok_or_else(|| {
+            VmError::BadRef(format!("instance relay `{relay}` without a proxy hash"))
+        })?;
+        let mirror = {
+            let rmi = callee.rmi.lock();
+            rmi.registry.get(hash)
+        }
+        .ok_or_else(|| VmError::BadRef(format!("no mirror registered for hash {hash}")))?;
+        exec_method(app, callee, &info, &target_def, Some(mirror), &args)
+    };
+
+    let outcome = result.and_then(|ret| {
+        let wire = marshal(app, callee, std::slice::from_ref(&ret))?;
+        release(callee, &ret);
+        Ok(wire)
+    });
+    release_pins(callee, &pins);
+    outcome
+}

@@ -1,0 +1,189 @@
+//! The instruction interpreter for [`MethodBody::Instrs`] bodies.
+//!
+//! Executes the small typed instruction set of [`crate::class::Instr`].
+//! Parameters occupy the first local registers; `this` is addressed by
+//! [`Operand::This`]. All values stored into locals are rooted in the
+//! executing frame so the copying collector never reclaims live
+//! temporaries.
+
+use runtime_sim::value::{ObjId, Value};
+
+use crate::class::{BinOp, ClassDef, Instr, MethodDef, Operand};
+use crate::error::VmError;
+use crate::exec::ctx::Ctx;
+
+#[allow(unused_imports)]
+use crate::class::MethodBody; // referenced by the module docs
+
+/// Runs an instruction body. Returns the method result (not yet
+/// in-flight rooted; `exec_method` promotes it).
+pub(crate) fn run(
+    ctx: &mut Ctx<'_>,
+    class: &ClassDef,
+    method: &MethodDef,
+    instrs: &[Instr],
+    this: Option<ObjId>,
+    args: &[Value],
+) -> Result<Value, VmError> {
+    let mut locals: Vec<Value> = Vec::with_capacity(method.locals.max(args.len()));
+    locals.extend_from_slice(args);
+    locals.resize(method.locals.max(args.len()), Value::Unit);
+
+    let read = |locals: &Vec<Value>, op: &Operand| -> Result<Value, VmError> {
+        match op {
+            Operand::Local(i) => locals
+                .get(*i as usize)
+                .cloned()
+                .ok_or_else(|| VmError::Type(format!("local {i} out of range in {}", method.name))),
+            Operand::Const(v) => Ok(v.clone()),
+            Operand::This => this
+                .map(Value::Ref)
+                .ok_or_else(|| VmError::Type(format!("`this` in static {}", method.name))),
+        }
+    };
+    let read_all = |locals: &Vec<Value>, ops: &[Operand]| -> Result<Vec<Value>, VmError> {
+        ops.iter().map(|op| read(locals, op)).collect()
+    };
+
+    for instr in instrs {
+        match instr {
+            Instr::Const { dst, value } => {
+                store(ctx, &mut locals, *dst, value.clone(), method)?;
+            }
+            Instr::New { dst, class: cname, args: ops } => {
+                let argv = read_all(&locals, ops)?;
+                let obj = ctx.new_object(cname, &argv)?;
+                store(ctx, &mut locals, *dst, obj, method)?;
+            }
+            Instr::Call { dst, recv, method: mname, args: ops, .. } => {
+                let recv_v = read(&locals, recv)?;
+                let argv = read_all(&locals, ops)?;
+                let out = ctx.call(&recv_v, mname, &argv)?;
+                if let Some(dst) = dst {
+                    store(ctx, &mut locals, *dst, out, method)?;
+                }
+            }
+            Instr::CallStatic { dst, class: cname, method: mname, args: ops } => {
+                let argv = read_all(&locals, ops)?;
+                let out = ctx.call_static(cname, mname, &argv)?;
+                if let Some(dst) = dst {
+                    store(ctx, &mut locals, *dst, out, method)?;
+                }
+            }
+            Instr::GetField { dst, recv, field } => {
+                let recv_v = read(&locals, recv)?;
+                let out = ctx.get_field(&recv_v, field)?;
+                store(ctx, &mut locals, *dst, out, method)?;
+            }
+            Instr::SetField { recv, field, value } => {
+                let recv_v = read(&locals, recv)?;
+                let v = read(&locals, value)?;
+                ctx.set_field(&recv_v, field, v)?;
+            }
+            Instr::ListPush { recv, field, value } => {
+                let recv_v = read(&locals, recv)?;
+                let v = read(&locals, value)?;
+                let mut list = ctx.get_field(&recv_v, field)?;
+                match &mut list {
+                    Value::List(items) => items.push(v),
+                    other => {
+                        return Err(VmError::Type(format!(
+                            "ListPush on non-list field `{field}` ({other:?})"
+                        )))
+                    }
+                }
+                ctx.set_field(&recv_v, field, list)?;
+            }
+            Instr::ListLen { dst, recv, field } => {
+                let recv_v = read(&locals, recv)?;
+                let list = ctx.get_field(&recv_v, field)?;
+                let len = list
+                    .as_list()
+                    .ok_or_else(|| VmError::Type(format!("ListLen on non-list field `{field}`")))?
+                    .len();
+                store(ctx, &mut locals, *dst, Value::Int(len as i64), method)?;
+            }
+            Instr::BinOp { dst, op, a, b } => {
+                let va = read(&locals, a)?;
+                let vb = read(&locals, b)?;
+                store(ctx, &mut locals, *dst, apply_binop(*op, &va, &vb)?, method)?;
+            }
+            Instr::Compute { working_set_bytes, passes } => {
+                ctx.compute(*working_set_bytes, *passes);
+            }
+            Instr::IoWrite { bytes } => {
+                ctx.io_write(*bytes)?;
+            }
+            Instr::Return { value } => {
+                return match value {
+                    Some(op) => read(&locals, op),
+                    None => Ok(Value::Unit),
+                };
+            }
+        }
+    }
+    let _ = class;
+    Ok(Value::Unit)
+}
+
+fn store(
+    _ctx: &mut Ctx<'_>,
+    locals: &mut [Value],
+    dst: u16,
+    value: Value,
+    method: &MethodDef,
+) -> Result<(), VmError> {
+    // Call/new results were already adopted into the frame by Ctx; field
+    // reads were rooted there too. Constants holding refs cannot occur
+    // (refs are runtime-only). Storing is therefore just a move.
+    let slot = locals
+        .get_mut(dst as usize)
+        .ok_or_else(|| VmError::Type(format!("local {dst} out of range in {}", method.name)))?;
+    *slot = value;
+    Ok(())
+}
+
+fn apply_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, VmError> {
+    match (op, a, b) {
+        (BinOp::Add, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(*y))),
+        (BinOp::Sub, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_sub(*y))),
+        (BinOp::Mul, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_mul(*y))),
+        (BinOp::Div, Value::Int(x), Value::Int(y)) => {
+            if *y == 0 {
+                Err(VmError::Type("integer division by zero".into()))
+            } else {
+                Ok(Value::Int(x / y))
+            }
+        }
+        (BinOp::Add, Value::Float(x), Value::Float(y)) => Ok(Value::Float(x + y)),
+        (BinOp::Sub, Value::Float(x), Value::Float(y)) => Ok(Value::Float(x - y)),
+        (BinOp::Mul, Value::Float(x), Value::Float(y)) => Ok(Value::Float(x * y)),
+        (BinOp::Div, Value::Float(x), Value::Float(y)) => Ok(Value::Float(x / y)),
+        (BinOp::Add, Value::Str(x), Value::Str(y)) => Ok(Value::Str(format!("{x}{y}"))),
+        (op, a, b) => Err(VmError::Type(format!("binop {op:?} unsupported on {a:?} and {b:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(apply_binop(BinOp::Add, &Value::Int(2), &Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            apply_binop(BinOp::Sub, &Value::Int(0), &Value::Int(7)).unwrap(),
+            Value::Int(-7)
+        );
+        assert_eq!(
+            apply_binop(BinOp::Mul, &Value::Float(2.0), &Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            apply_binop(BinOp::Add, &Value::Str("a".into()), &Value::Str("b".into())).unwrap(),
+            Value::Str("ab".into())
+        );
+        assert!(apply_binop(BinOp::Div, &Value::Int(1), &Value::Int(0)).is_err());
+        assert!(apply_binop(BinOp::Add, &Value::Int(1), &Value::Str("x".into())).is_err());
+    }
+}

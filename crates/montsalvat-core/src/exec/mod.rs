@@ -1,0 +1,13 @@
+//! The partitioned-application runtime.
+//!
+//! - [`world`] — per-runtime state (isolate, class index, RMI tables);
+//! - [`ctx`] — the execution context, marshalling and relay dispatch;
+//! - [`interp`] — the instruction interpreter;
+//! - [`app`] — application launch, GC helpers, and the unpartitioned
+//!   runner.
+
+pub mod app;
+pub mod ctx;
+pub(crate) mod interp;
+pub mod switchless;
+pub mod world;

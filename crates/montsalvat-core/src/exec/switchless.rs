@@ -1,0 +1,137 @@
+//! Switchless (transition-less) RMI calls — the paper's first
+//! future-work item (§7, after Tian et al., SysTEX'18).
+//!
+//! A classic crossing pays the full EENTER/EEXIT transition plus relay
+//! software on *every* call. In the switchless design, each runtime
+//! keeps a small pool of resident worker threads; a caller posts its
+//! request to a shared mailbox and the opposite side's worker serves it
+//! without any hardware transition — the cost drops to a cache-line
+//! hand-off plus the marshalling itself.
+//!
+//! The reproduction implements the mechanism with real threads and real
+//! mailboxes (crossbeam channels): requests genuinely execute on a
+//! worker of the opposite world, concurrently with the caller, and the
+//! cost model charges the switchless hand-off instead of the
+//! transition. The ablation bench `bench/benches/switchless.rs` and the
+//! `switchless_calls` tests compare the two modes.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use rmi::hash::ProxyHash;
+
+use crate::annotation::Side;
+use crate::error::VmError;
+use crate::exec::ctx::WireMsg;
+
+/// Configuration of the switchless call mechanism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchlessConfig {
+    /// Resident worker threads per runtime.
+    pub workers_per_side: usize,
+}
+
+impl Default for SwitchlessConfig {
+    fn default() -> Self {
+        SwitchlessConfig { workers_per_side: 2 }
+    }
+}
+
+/// One posted request: serve `class.relay` with `msg` in the worker's
+/// world, reply on `reply`.
+pub(crate) struct SwitchlessJob {
+    pub class_name: String,
+    pub relay: String,
+    pub recv_hash: Option<ProxyHash>,
+    pub msg: WireMsg,
+    pub reply: Sender<Result<WireMsg, VmError>>,
+}
+
+/// The per-application switchless machinery: one mailbox per side,
+/// served by that side's resident workers.
+pub(crate) struct SwitchlessPool {
+    trusted_tx: Sender<SwitchlessJob>,
+    untrusted_tx: Sender<SwitchlessJob>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SwitchlessPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwitchlessPool").field("workers", &self.workers.len()).finish()
+    }
+}
+
+impl SwitchlessPool {
+    /// Spawns the worker pools. `serve` is the relay dispatcher bound to
+    /// the application (it captures `AppShared`).
+    pub(crate) fn spawn(
+        config: &SwitchlessConfig,
+        serve: Arc<
+            dyn Fn(Side, &str, &str, Option<ProxyHash>, &WireMsg) -> Result<WireMsg, VmError>
+                + Send
+                + Sync,
+        >,
+    ) -> Self {
+        let (trusted_tx, trusted_rx) = unbounded::<SwitchlessJob>();
+        let (untrusted_tx, untrusted_rx) = unbounded::<SwitchlessJob>();
+        let mut workers = Vec::new();
+        for side in [Side::Trusted, Side::Untrusted] {
+            let rx = match side {
+                Side::Trusted => trusted_rx.clone(),
+                Side::Untrusted => untrusted_rx.clone(),
+            };
+            for i in 0..config.workers_per_side.max(1) {
+                let rx = rx.clone();
+                let serve = Arc::clone(&serve);
+                let handle = std::thread::Builder::new()
+                    .name(format!("{side}-switchless-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let out = serve(
+                                side,
+                                &job.class_name,
+                                &job.relay,
+                                job.recv_hash,
+                                &job.msg,
+                            );
+                            let _ = job.reply.send(out);
+                        }
+                    })
+                    .expect("spawn switchless worker");
+                workers.push(handle);
+            }
+        }
+        SwitchlessPool { trusted_tx, untrusted_tx, workers }
+    }
+
+    /// Posts a call to `side`'s mailbox and blocks for the reply.
+    pub(crate) fn call(
+        &self,
+        side: Side,
+        class_name: String,
+        relay: String,
+        recv_hash: Option<ProxyHash>,
+        msg: WireMsg,
+    ) -> Result<WireMsg, VmError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let job = SwitchlessJob { class_name, relay, recv_hash, msg, reply: reply_tx };
+        let tx = match side {
+            Side::Trusted => &self.trusted_tx,
+            Side::Untrusted => &self.untrusted_tx,
+        };
+        tx.send(job).map_err(|_| VmError::Sgx(sgx_sim::SgxError::EnclaveLost))?;
+        reply_rx
+            .recv()
+            .map_err(|_| VmError::Sgx(sgx_sim::SgxError::EnclaveLost))?
+    }
+
+    /// Stops the workers (drains by closing the mailboxes).
+    pub(crate) fn shutdown(self) {
+        drop(self.trusted_tx);
+        drop(self.untrusted_tx);
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Runtime worlds: one per partitioned runtime.
+//!
+//! A [`World`] bundles everything one runtime owns at execution time: its
+//! isolate (heap), its class index, its RMI state (mirror-proxy registry,
+//! proxy map, weak list, hash allocator), its scratch I/O channel, and an
+//! execution-model knob used by the JVM baseline. The trusted world's
+//! heap carries an observer that charges the enclave for every byte of
+//! heap traffic, which is how the paper's in-enclave GC and allocation
+//! overheads arise in the model.
+
+use std::collections::HashMap;
+use std::io::SeekFrom;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rmi::hash::{HashScheme, ProxyHash, ProxyHasher};
+use rmi::registry::MirrorProxyRegistry;
+use rmi::weaklist::ProxyWeakList;
+use runtime_sim::heap::{HeapConfig, HeapObserver};
+use runtime_sim::isolate::Isolate;
+use runtime_sim::value::{ClassId, ObjId};
+use sgx_sim::enclave::Enclave;
+use sgx_sim::shim::{HostFile, ShimFile};
+
+use crate::annotation::Side;
+use crate::class::ClassDef;
+use crate::error::VmError;
+
+/// A class with its runtime id.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// Heap class id within this world.
+    pub id: ClassId,
+    /// The definition.
+    pub def: ClassDef,
+}
+
+/// Name ↔ id index over one image's classes.
+#[derive(Debug, Default)]
+pub struct ClassIndex {
+    infos: Vec<ClassInfo>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ClassIndex {
+    /// Builds an index, assigning dense [`ClassId`]s.
+    pub fn from_classes(classes: &[ClassDef]) -> Self {
+        let mut index = ClassIndex::default();
+        for (i, def) in classes.iter().enumerate() {
+            index.by_name.insert(def.name.clone(), i);
+            index.infos.push(ClassInfo { id: ClassId(i as u32), def: def.clone() });
+        }
+        index
+    }
+
+    /// Looks up a class by name.
+    pub fn by_name(&self, name: &str) -> Option<&ClassInfo> {
+        self.by_name.get(name).map(|&i| &self.infos[i])
+    }
+
+    /// Looks up a class by id.
+    pub fn by_id(&self, id: ClassId) -> Option<&ClassInfo> {
+        self.infos.get(id.0 as usize)
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.infos.is_empty()
+    }
+
+    /// Iterates over all classes.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassInfo> + '_ {
+        self.infos.iter()
+    }
+}
+
+/// Mutable RMI state of one world. Lock ordering: `rmi` before the heap.
+#[derive(Debug, Default)]
+pub struct RmiState {
+    /// Strong references to local mirrors, keyed by proxy hash.
+    pub registry: MirrorProxyRegistry,
+    /// Local proxy objects by hash (not rooted; may go stale).
+    pub proxies: HashMap<ProxyHash, ObjId>,
+    /// Hashes under which local concrete objects have been exported.
+    pub hash_of: HashMap<ObjId, ProxyHash>,
+    /// Weak tracking of local proxies for the GC helper.
+    pub weaklist: ProxyWeakList,
+}
+
+/// Execution-model knobs (all neutral for native images; the SCONE+JVM
+/// baseline overrides them, see `baselines`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecModel {
+    /// Extra charge per method invocation (JVM dispatch/interpretation).
+    pub call_overhead_ns: u64,
+    /// Multiplier on compute-kernel time (JVM bytecode execution).
+    pub compute_factor: f64,
+    /// Multiplier on GC copy traffic charged to the enclave (a
+    /// generational JVM collector copies less than the native image's
+    /// full-heap serial collector on allocation-heavy loads).
+    pub gc_copy_factor: f64,
+    /// One-time startup charge (class loading, JIT warm-up).
+    pub startup_ns: u64,
+    /// Fixed runtime-heap overhead committed at startup (a JVM's own
+    /// objects), driving extra EPC pressure in-enclave.
+    pub runtime_heap_overhead_bytes: u64,
+}
+
+impl Default for ExecModel {
+    fn default() -> Self {
+        ExecModel {
+            call_overhead_ns: 0,
+            compute_factor: 1.0,
+            gc_copy_factor: 1.0,
+            startup_ns: 0,
+            runtime_heap_overhead_bytes: 0,
+        }
+    }
+}
+
+impl ExecModel {
+    /// The native-image execution model (no overheads).
+    pub fn native_image() -> Self {
+        Self::default()
+    }
+}
+
+/// Counters for one world's RMI activity.
+#[derive(Debug, Default)]
+pub struct WorldStats {
+    rmi_calls: AtomicU64,
+    switchless_calls: AtomicU64,
+    bytes_serialized: AtomicU64,
+    proxies_created: AtomicU64,
+    mirrors_created: AtomicU64,
+}
+
+/// Snapshot of [`WorldStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorldStatsSnapshot {
+    /// Cross-world method invocations initiated from this world.
+    pub rmi_calls: u64,
+    /// Subset of `rmi_calls` served switchlessly (no transition).
+    pub switchless_calls: u64,
+    /// Bytes serialized for crossings initiated from this world.
+    pub bytes_serialized: u64,
+    /// Proxy objects created in this world.
+    pub proxies_created: u64,
+    /// Mirror objects created in this world.
+    pub mirrors_created: u64,
+}
+
+impl WorldStats {
+    pub(crate) fn count_rmi(&self, bytes: u64) {
+        self.rmi_calls.fetch_add(1, Ordering::Relaxed);
+        self.bytes_serialized.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_switchless(&self) {
+        self.switchless_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_proxy(&self) {
+        self.proxies_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_mirror(&self) {
+        self.mirrors_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads the counters.
+    pub fn snapshot(&self) -> WorldStatsSnapshot {
+        WorldStatsSnapshot {
+            rmi_calls: self.rmi_calls.load(Ordering::Relaxed),
+            switchless_calls: self.switchless_calls.load(Ordering::Relaxed),
+            bytes_serialized: self.bytes_serialized.load(Ordering::Relaxed),
+            proxies_created: self.proxies_created.load(Ordering::Relaxed),
+            mirrors_created: self.mirrors_created.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The scratch I/O channel of a world (backs `Instr::IoWrite` and the
+/// `Ctx::io_*` operations).
+#[derive(Debug, Default)]
+pub(crate) struct WorldIo {
+    pub(crate) file: Option<IoFile>,
+    pub(crate) buf: Vec<u8>,
+    pub(crate) bytes_written: u64,
+}
+
+#[derive(Debug)]
+pub(crate) enum IoFile {
+    /// In-enclave handle: every operation is an ocall.
+    Shim(ShimFile),
+    /// Untrusted handle: direct host I/O.
+    Host(HostFile),
+}
+
+impl IoFile {
+    pub(crate) fn write_all(&mut self, buf: &[u8]) -> Result<(), VmError> {
+        match self {
+            IoFile::Shim(f) => f.write_all(buf).map_err(VmError::from),
+            IoFile::Host(f) => f.write_all(buf).map_err(VmError::from),
+        }
+    }
+
+    pub(crate) fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), VmError> {
+        match self {
+            IoFile::Shim(f) => f.read_exact(buf).map_err(VmError::from),
+            IoFile::Host(f) => f.read_exact(buf).map_err(VmError::from),
+        }
+    }
+
+    pub(crate) fn seek(&mut self, pos: SeekFrom) -> Result<u64, VmError> {
+        match self {
+            IoFile::Shim(f) => f.seek(pos).map_err(VmError::from),
+            IoFile::Host(f) => f.seek(pos).map_err(VmError::from),
+        }
+    }
+}
+
+/// Heap observer that charges the enclave for trusted-heap traffic.
+#[derive(Debug)]
+pub struct EnclaveHeapCharger {
+    enclave: Arc<Enclave>,
+    gc_copy_factor: f64,
+}
+
+impl EnclaveHeapCharger {
+    /// Creates a charger for `enclave`; `gc_copy_factor` scales GC copy
+    /// traffic (see [`ExecModel::gc_copy_factor`]).
+    pub fn new(enclave: Arc<Enclave>, gc_copy_factor: f64) -> Self {
+        EnclaveHeapCharger { enclave, gc_copy_factor }
+    }
+}
+
+impl HeapObserver for EnclaveHeapCharger {
+    fn on_alloc(&self, bytes: u64) {
+        // Committing and writing fresh enclave heap pays EPC + MEE.
+        let _ = self.enclave.alloc_heap(bytes);
+        self.enclave.charge_heap_traffic(bytes);
+    }
+
+    fn on_gc_copy(&self, bytes: u64) {
+        let charged = (bytes as f64 * self.gc_copy_factor) as u64;
+        self.enclave.charge_gc_copy(charged);
+    }
+
+    fn on_free(&self, bytes: u64) {
+        self.enclave.free_heap(bytes);
+    }
+}
+
+/// One runtime of a (possibly partitioned) application.
+#[derive(Debug)]
+pub struct World {
+    /// Which runtime this is.
+    pub side: Side,
+    /// Whether this world executes inside the enclave.
+    pub in_enclave: bool,
+    /// The world's isolate (heap).
+    pub isolate: Arc<Isolate>,
+    /// The image's class index.
+    pub classes: Arc<ClassIndex>,
+    /// RMI state (lock before the heap).
+    pub rmi: Mutex<RmiState>,
+    /// Proxy-hash allocator.
+    pub hasher: ProxyHasher,
+    /// RMI counters.
+    pub stats: WorldStats,
+    /// Execution-model knobs.
+    pub exec_model: ExecModel,
+    /// Scratch-file path for `Ctx::io_*`.
+    pub scratch_path: PathBuf,
+    pub(crate) io: Mutex<WorldIo>,
+}
+
+impl World {
+    /// Creates a world over a fresh isolate.
+    pub fn new(
+        side: Side,
+        in_enclave: bool,
+        classes: Arc<ClassIndex>,
+        heap_config: HeapConfig,
+        hash_scheme: HashScheme,
+        exec_model: ExecModel,
+        scratch_path: PathBuf,
+        enclave: Option<&Arc<Enclave>>,
+    ) -> Arc<Self> {
+        let isolate = Isolate::new(side.name(), heap_config);
+        if in_enclave {
+            let enclave = enclave.expect("in-enclave world requires an enclave");
+            let charger =
+                EnclaveHeapCharger::new(Arc::clone(enclave), exec_model.gc_copy_factor);
+            isolate.with_heap(|h| h.set_observer(Arc::new(charger)));
+        }
+        Arc::new(World {
+            side,
+            in_enclave,
+            isolate,
+            classes,
+            rmi: Mutex::new(RmiState::default()),
+            hasher: ProxyHasher::new(hash_scheme, side as u64 + 1),
+            stats: WorldStats::default(),
+            exec_model,
+            scratch_path,
+            io: Mutex::new(WorldIo::default()),
+        })
+    }
+
+    /// Reads a class by name, as a runtime error if missing.
+    pub fn class_by_name(&self, name: &str) -> Result<&ClassInfo, VmError> {
+        self.classes.by_name(name).ok_or_else(|| VmError::UnknownClass(name.to_owned()))
+    }
+
+    /// Reads the class of a live object.
+    pub fn class_of_obj(&self, id: ObjId) -> Result<&ClassInfo, VmError> {
+        let class_id = self
+            .isolate
+            .with_heap(|h| h.class_of(id))
+            .ok_or_else(|| VmError::BadRef(format!("{id} is dead or foreign")))?;
+        self.classes
+            .by_id(class_id)
+            .ok_or_else(|| VmError::BadRef(format!("{id} has unknown class {class_id}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassDef;
+
+    #[test]
+    fn class_index_assigns_dense_ids() {
+        let idx = ClassIndex::from_classes(&[ClassDef::new("A"), ClassDef::new("B")]);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.by_name("A").unwrap().id, ClassId(0));
+        assert_eq!(idx.by_name("B").unwrap().id, ClassId(1));
+        assert_eq!(idx.by_id(ClassId(1)).unwrap().def.name, "B");
+        assert!(idx.by_name("C").is_none());
+    }
+
+    #[test]
+    fn world_resolves_classes() {
+        let idx = Arc::new(ClassIndex::from_classes(&[ClassDef::new("A")]));
+        let world = World::new(
+            Side::Untrusted,
+            false,
+            idx,
+            HeapConfig::default(),
+            HashScheme::Wide,
+            ExecModel::native_image(),
+            std::env::temp_dir().join("world_test_scratch"),
+            None,
+        );
+        assert!(world.class_by_name("A").is_ok());
+        assert!(matches!(world.class_by_name("Zed"), Err(VmError::UnknownClass(_))));
+    }
+
+    #[test]
+    fn stats_count() {
+        let stats = WorldStats::default();
+        stats.count_rmi(100);
+        stats.count_rmi(50);
+        stats.count_proxy();
+        stats.count_mirror();
+        let snap = stats.snapshot();
+        assert_eq!(snap.rmi_calls, 2);
+        assert_eq!(snap.bytes_serialized, 150);
+        assert_eq!(snap.proxies_created, 1);
+        assert_eq!(snap.mirrors_created, 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! Native-image generation (§5.3).
+//!
+//! The native image generator takes the transformed class sets, runs the
+//! reachability analysis from each image's entry points, prunes
+//! unreachable program elements, optionally executes build-time
+//! initialisation whose resulting objects are snapshotted into the image
+//! heap (§2.2), and produces the relocatable images that the SGX module
+//! links into the final application:
+//!
+//! - the **trusted image** is analysed from the relay methods of trusted
+//!   classes (its `@CEntryPoint`s);
+//! - the **untrusted image** is analysed from `main` plus the relay
+//!   methods of untrusted classes (the paper places `main` in the
+//!   untrusted image, §5.3).
+
+use std::sync::Arc;
+
+use runtime_sim::heap::{Heap, HeapConfig};
+use runtime_sim::image::ImageHeap;
+
+use crate::analysis::{analyze, prune, Reachability};
+use crate::annotation::{Side, Trust};
+use crate::class::{ClassDef, MethodBody, MethodRef, Program};
+use crate::error::BuildError;
+use crate::transform::TransformedProgram;
+
+/// Build-time initialiser: runs on a fresh heap at image-build time; the
+/// heap's final state becomes the image heap.
+pub type BuildInit = Arc<dyn Fn(&mut Heap) -> Result<(), String> + Send + Sync>;
+
+/// Options for image generation.
+#[derive(Clone, Default)]
+pub struct ImageOptions {
+    /// Build-time initialisation (§2.2: "executing initialisation code
+    /// at build time"). `None` produces an empty image heap.
+    pub build_init: Option<BuildInit>,
+    /// Extra entry points to keep through the closed-world analysis —
+    /// the analogue of GraalVM's reflection configuration (§2.2): any
+    /// method invoked dynamically (e.g. by a test harness or benchmark
+    /// driver) that no static call edge reaches must be listed here, or
+    /// pruning removes it.
+    pub extra_entry_points: Vec<MethodRef>,
+}
+
+impl ImageOptions {
+    /// Convenience: options that only register extra dynamic entry
+    /// points (the reflection-config analogue).
+    pub fn with_entry_points(entries: impl IntoIterator<Item = MethodRef>) -> Self {
+        ImageOptions { extra_entry_points: entries.into_iter().collect(), ..Self::default() }
+    }
+}
+
+impl std::fmt::Debug for ImageOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImageOptions")
+            .field("build_init", &self.build_init.as_ref().map(|_| ".."))
+            .field("extra_entry_points", &self.extra_entry_points)
+            .finish()
+    }
+}
+
+/// A generated native image: the pruned classes, entry points and image
+/// heap that the runtime loads.
+#[derive(Debug, Clone)]
+pub struct NativeImage {
+    /// Image name (e.g. `trusted.o`).
+    pub name: String,
+    /// Which runtime this image serves; `None` for unpartitioned images.
+    pub side: Option<Side>,
+    /// Pruned class set.
+    pub classes: Vec<ClassDef>,
+    /// Entry points the image exports.
+    pub entry_points: Vec<MethodRef>,
+    /// Snapshot of build-time-initialised objects.
+    pub image_heap: ImageHeap,
+    /// The analysis result the pruning was based on (kept for
+    /// inspection and tests).
+    pub reachability: Reachability,
+}
+
+impl NativeImage {
+    /// Looks up a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Deterministic byte encoding of the image used as the enclave
+    /// measurement input (the analogue of hashing `enclave.so`).
+    pub fn measurement_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.name.as_bytes());
+        for class in &self.classes {
+            out.extend_from_slice(class.name.as_bytes());
+            out.push(class.trust.is_annotated() as u8);
+            for field in &class.fields {
+                out.extend_from_slice(field.as_bytes());
+            }
+            for method in &class.methods {
+                out.extend_from_slice(method.name.as_bytes());
+                out.push(match method.body {
+                    MethodBody::Instrs(_) => 0,
+                    MethodBody::Native(_) => 1,
+                    MethodBody::ProxyCall { .. } => 2,
+                    MethodBody::Relay { .. } => 3,
+                });
+            }
+        }
+        out.extend_from_slice(&self.image_heap.to_bytes());
+        out
+    }
+
+    /// Rough compiled-size estimate in bytes (drives EPC commitment of
+    /// the loaded image).
+    pub fn code_size_estimate(&self) -> u64 {
+        let mut size = 4096; // runtime stubs
+        for class in &self.classes {
+            size += 256; // class metadata
+            for method in &class.methods {
+                size += match &method.body {
+                    MethodBody::Instrs(instrs) => 64 + 32 * instrs.len() as u64,
+                    MethodBody::Native(_) => 512,
+                    MethodBody::ProxyCall { .. } => 128,
+                    MethodBody::Relay { .. } => 192,
+                };
+            }
+        }
+        size + self.image_heap.byte_len()
+    }
+}
+
+fn run_build_init(options: &ImageOptions) -> Result<ImageHeap, BuildError> {
+    match &options.build_init {
+        None => Ok(ImageHeap::default()),
+        Some(init) => {
+            let mut heap = Heap::new(HeapConfig::default());
+            init(&mut heap).map_err(BuildError::InitFailed)?;
+            heap.collect();
+            Ok(ImageHeap::snapshot(&heap))
+        }
+    }
+}
+
+/// Builds the trusted image from a transformed program.
+///
+/// # Errors
+///
+/// Fails only if build-time initialisation fails.
+pub fn build_trusted_image(
+    tp: &TransformedProgram,
+    options: &ImageOptions,
+) -> Result<NativeImage, BuildError> {
+    let mut classes = tp.trusted_set.clone();
+    classes.extend(tp.neutral_set.clone());
+    let mut entry_points = tp.relay_entry_points(Trust::Trusted);
+    entry_points.extend(options.extra_entry_points.iter().cloned());
+    let reachability = analyze(&classes, &entry_points);
+    let classes = prune(classes, &reachability);
+    Ok(NativeImage {
+        name: "trusted.o".into(),
+        side: Some(Side::Trusted),
+        classes,
+        entry_points,
+        image_heap: run_build_init(options)?,
+        reachability,
+    })
+}
+
+/// Builds the untrusted image from a transformed program.
+///
+/// # Errors
+///
+/// Fails only if build-time initialisation fails.
+pub fn build_untrusted_image(
+    tp: &TransformedProgram,
+    options: &ImageOptions,
+) -> Result<NativeImage, BuildError> {
+    let mut classes = tp.untrusted_set.clone();
+    classes.extend(tp.neutral_set.clone());
+    let mut entry_points = vec![tp.main.clone()];
+    entry_points.extend(tp.relay_entry_points(Trust::Untrusted));
+    entry_points.extend(options.extra_entry_points.iter().cloned());
+    let reachability = analyze(&classes, &entry_points);
+    let classes = prune(classes, &reachability);
+    Ok(NativeImage {
+        name: "untrusted.o".into(),
+        side: Some(Side::Untrusted),
+        classes,
+        entry_points,
+        image_heap: run_build_init(options)?,
+        reachability,
+    })
+}
+
+/// Builds both images of a partitioned application.
+///
+/// # Errors
+///
+/// Fails only if build-time initialisation fails.
+pub fn build_partitioned_images(
+    tp: &TransformedProgram,
+    trusted_options: &ImageOptions,
+    untrusted_options: &ImageOptions,
+) -> Result<(NativeImage, NativeImage), BuildError> {
+    Ok((build_trusted_image(tp, trusted_options)?, build_untrusted_image(tp, untrusted_options)?))
+}
+
+/// Builds a single unpartitioned image (§5.6): no bytecode
+/// modifications, the whole application in one image, analysed from
+/// `main` alone.
+///
+/// # Errors
+///
+/// Fails only if build-time initialisation fails.
+pub fn build_unpartitioned_image(
+    program: &Program,
+    options: &ImageOptions,
+) -> Result<NativeImage, BuildError> {
+    let classes = program.classes.clone();
+    let mut entry_points = vec![program.main.clone()];
+    entry_points.extend(options.extra_entry_points.iter().cloned());
+    let reachability = analyze(&classes, &entry_points);
+    let classes = prune(classes, &reachability);
+    Ok(NativeImage {
+        name: "app.o".into(),
+        side: None,
+        classes,
+        entry_points,
+        image_heap: run_build_init(options)?,
+        reachability,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassRole;
+    use crate::samples::bank_program;
+    use crate::transform::transform;
+    use runtime_sim::value::{ClassId, Value};
+
+    fn images() -> (NativeImage, NativeImage) {
+        let tp = transform(&bank_program());
+        build_partitioned_images(&tp, &ImageOptions::default(), &ImageOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn trusted_image_excludes_untrusted_functionality() {
+        let (trusted, _) = images();
+        // Person's proxy is unreachable from trusted entry points and
+        // was pruned (§5.3).
+        assert!(trusted.class("Person").is_none());
+        assert!(trusted.class("Main").is_none());
+        // Concrete trusted classes present.
+        let account = trusted.class("Account").unwrap();
+        assert_eq!(account.role, ClassRole::Concrete);
+    }
+
+    #[test]
+    fn untrusted_image_contains_only_proxies_of_trusted() {
+        let (_, untrusted) = images();
+        let account = untrusted.class("Account").unwrap();
+        assert_eq!(account.role, ClassRole::Proxy);
+        let person = untrusted.class("Person").unwrap();
+        assert_eq!(person.role, ClassRole::Concrete);
+        // Main is an entry point.
+        assert!(untrusted.entry_points.contains(&MethodRef::new("Main", "main")));
+    }
+
+    #[test]
+    fn unpartitioned_image_keeps_everything_reachable_from_main() {
+        let image = build_unpartitioned_image(&bank_program(), &ImageOptions::default()).unwrap();
+        assert!(image.side.is_none());
+        assert!(image.class("Account").is_some());
+        assert!(image.class("Person").is_some());
+        // StringUtil is unreachable from main and pruned by the
+        // closed-world analysis.
+        assert!(image.class("StringUtil").is_none());
+        // No relays/proxies in unpartitioned builds.
+        assert!(image
+            .classes
+            .iter()
+            .all(|c| c.role == ClassRole::Concrete
+                && c.methods.iter().all(|m| !crate::transform::is_relay_name(&m.name))));
+    }
+
+    #[test]
+    fn measurements_differ_between_images() {
+        let (trusted, untrusted) = images();
+        assert_ne!(trusted.measurement_bytes(), untrusted.measurement_bytes());
+        assert_eq!(trusted.measurement_bytes(), trusted.measurement_bytes());
+    }
+
+    #[test]
+    fn build_init_populates_image_heap() {
+        let tp = transform(&bank_program());
+        let options = ImageOptions {
+            build_init: Some(Arc::new(|heap: &mut Heap| {
+                let id = heap
+                    .alloc(ClassId(0), vec![Value::from("parsed config")])
+                    .map_err(|e| e.to_string())?;
+                heap.add_root(id);
+                Ok(())
+            })),
+            ..ImageOptions::default()
+        };
+        let image = build_trusted_image(&tp, &options).unwrap();
+        assert_eq!(image.image_heap.object_count(), 1);
+        assert!(image.code_size_estimate() > 4096);
+    }
+
+    #[test]
+    fn failing_build_init_reports() {
+        let tp = transform(&bank_program());
+        let options = ImageOptions {
+            build_init: Some(Arc::new(|_: &mut Heap| Err("config file missing".into()))),
+            ..ImageOptions::default()
+        };
+        let err = build_trusted_image(&tp, &options).unwrap_err();
+        assert_eq!(err, BuildError::InitFailed("config file missing".into()));
+    }
+
+    #[test]
+    fn code_size_scales_with_classes() {
+        let (trusted, _) = images();
+        let unpart = build_unpartitioned_image(&bank_program(), &ImageOptions::default()).unwrap();
+        // The unpartitioned image carries every reachable application
+        // class; the trusted image carries only the trusted slice.
+        assert!(unpart.classes.len() > trusted.classes.len());
+        assert!(trusted.code_size_estimate() > 4096);
+    }
+}

@@ -1,0 +1,283 @@
+//! Sample programs, including the paper's illustrative bank example.
+//!
+//! [`bank_program`] reproduces Listing 1 of the paper: trusted classes
+//! `Account` and `AccountRegistry`, untrusted classes `Person` and
+//! `Main`, and a neutral `StringUtil`. It is used throughout the test
+//! suite, the documentation and the examples.
+
+use runtime_sim::value::Value;
+
+use crate::annotation::Trust;
+use crate::class::{
+    BinOp, ClassDef, Instr, MethodDef, MethodKind, MethodRef, Operand, Program, CTOR,
+};
+
+/// Builds the paper's Listing-1 bank application.
+///
+/// Class layout:
+///
+/// - `@Trusted Account { owner, balance; <init>(owner, balance);
+///   updateBalance(v); balance() }`
+/// - `@Trusted AccountRegistry { reg; <init>(); addAccount(a); size() }`
+/// - `@Untrusted Person { name, account; <init>(name, amount);
+///   getAccount(); transfer(other, amount) }`
+/// - `@Untrusted Main { static main() }`
+/// - neutral `StringUtil { static greet(name) }`
+pub fn bank_program() -> Program {
+    let account = ClassDef::new("Account")
+        .trust(Trust::Trusted)
+        .field("owner")
+        .field("balance")
+        .method(MethodDef::interpreted(
+            CTOR,
+            MethodKind::Constructor,
+            2,
+            2,
+            vec![
+                Instr::SetField {
+                    recv: Operand::This,
+                    field: "owner".into(),
+                    value: Operand::Local(0),
+                },
+                Instr::SetField {
+                    recv: Operand::This,
+                    field: "balance".into(),
+                    value: Operand::Local(1),
+                },
+                Instr::Return { value: None },
+            ],
+        ))
+        .method(MethodDef::interpreted(
+            "updateBalance",
+            MethodKind::Instance,
+            1,
+            2,
+            vec![
+                Instr::GetField { dst: 1, recv: Operand::This, field: "balance".into() },
+                Instr::BinOp { dst: 1, op: BinOp::Add, a: Operand::Local(1), b: Operand::Local(0) },
+                Instr::SetField {
+                    recv: Operand::This,
+                    field: "balance".into(),
+                    value: Operand::Local(1),
+                },
+                Instr::Return { value: None },
+            ],
+        ))
+        .method(MethodDef::interpreted(
+            "balance",
+            MethodKind::Instance,
+            0,
+            1,
+            vec![
+                Instr::GetField { dst: 0, recv: Operand::This, field: "balance".into() },
+                Instr::Return { value: Some(Operand::Local(0)) },
+            ],
+        ));
+
+    let registry = ClassDef::new("AccountRegistry")
+        .trust(Trust::Trusted)
+        .field("reg")
+        .method(MethodDef::interpreted(
+            CTOR,
+            MethodKind::Constructor,
+            0,
+            0,
+            vec![
+                Instr::SetField {
+                    recv: Operand::This,
+                    field: "reg".into(),
+                    value: Operand::Const(Value::List(Vec::new())),
+                },
+                Instr::Return { value: None },
+            ],
+        ))
+        .method(MethodDef::interpreted(
+            "addAccount",
+            MethodKind::Instance,
+            1,
+            1,
+            vec![
+                Instr::ListPush {
+                    recv: Operand::This,
+                    field: "reg".into(),
+                    value: Operand::Local(0),
+                },
+                Instr::Return { value: None },
+            ],
+        ))
+        .method(MethodDef::interpreted(
+            "size",
+            MethodKind::Instance,
+            0,
+            1,
+            vec![
+                Instr::ListLen { dst: 0, recv: Operand::This, field: "reg".into() },
+                Instr::Return { value: Some(Operand::Local(0)) },
+            ],
+        ));
+
+    let person = ClassDef::new("Person")
+        .trust(Trust::Untrusted)
+        .field("name")
+        .field("account")
+        .method(MethodDef::interpreted(
+            CTOR,
+            MethodKind::Constructor,
+            2,
+            3,
+            vec![
+                Instr::SetField {
+                    recv: Operand::This,
+                    field: "name".into(),
+                    value: Operand::Local(0),
+                },
+                Instr::New {
+                    dst: 2,
+                    class: "Account".into(),
+                    args: vec![Operand::Local(0), Operand::Local(1)],
+                },
+                Instr::SetField {
+                    recv: Operand::This,
+                    field: "account".into(),
+                    value: Operand::Local(2),
+                },
+                Instr::Return { value: None },
+            ],
+        ))
+        .method(MethodDef::interpreted(
+            "getAccount",
+            MethodKind::Instance,
+            0,
+            1,
+            vec![
+                Instr::GetField { dst: 0, recv: Operand::This, field: "account".into() },
+                Instr::Return { value: Some(Operand::Local(0)) },
+            ],
+        ))
+        .method(MethodDef::interpreted(
+            "transfer",
+            MethodKind::Instance,
+            2,
+            5,
+            vec![
+                // p.getAccount().updateBalance(v)
+                Instr::Call {
+                    dst: Some(2),
+                    class: "Person".into(),
+                    recv: Operand::Local(0),
+                    method: "getAccount".into(),
+                    args: vec![],
+                },
+                Instr::Call {
+                    dst: None,
+                    class: "Account".into(),
+                    recv: Operand::Local(2),
+                    method: "updateBalance".into(),
+                    args: vec![Operand::Local(1)],
+                },
+                // this.account.updateBalance(-v)
+                Instr::GetField { dst: 3, recv: Operand::This, field: "account".into() },
+                Instr::BinOp {
+                    dst: 4,
+                    op: BinOp::Sub,
+                    a: Operand::Const(Value::Int(0)),
+                    b: Operand::Local(1),
+                },
+                Instr::Call {
+                    dst: None,
+                    class: "Account".into(),
+                    recv: Operand::Local(3),
+                    method: "updateBalance".into(),
+                    args: vec![Operand::Local(4)],
+                },
+                Instr::Return { value: None },
+            ],
+        ));
+
+    let main = ClassDef::new("Main").trust(Trust::Untrusted).method(MethodDef::interpreted(
+        "main",
+        MethodKind::Static,
+        0,
+        4,
+        vec![
+            Instr::New {
+                dst: 0,
+                class: "Person".into(),
+                args: vec![Operand::Const(Value::from("Alice")), Operand::Const(Value::Int(100))],
+            },
+            Instr::New {
+                dst: 1,
+                class: "Person".into(),
+                args: vec![Operand::Const(Value::from("Bob")), Operand::Const(Value::Int(25))],
+            },
+            Instr::Call {
+                dst: None,
+                class: "Person".into(),
+                recv: Operand::Local(0),
+                method: "transfer".into(),
+                args: vec![Operand::Local(1), Operand::Const(Value::Int(25))],
+            },
+            Instr::New { dst: 2, class: "AccountRegistry".into(), args: vec![] },
+            Instr::Call {
+                dst: Some(3),
+                class: "Person".into(),
+                recv: Operand::Local(0),
+                method: "getAccount".into(),
+                args: vec![],
+            },
+            Instr::Call {
+                dst: None,
+                class: "AccountRegistry".into(),
+                recv: Operand::Local(2),
+                method: "addAccount".into(),
+                args: vec![Operand::Local(3)],
+            },
+            Instr::Return { value: None },
+        ],
+    ));
+
+    let string_util = ClassDef::new("StringUtil").method(MethodDef::interpreted(
+        "greet",
+        MethodKind::Static,
+        1,
+        2,
+        vec![
+            Instr::BinOp {
+                dst: 1,
+                op: BinOp::Add,
+                a: Operand::Const(Value::from("hello ")),
+                b: Operand::Local(0),
+            },
+            Instr::Return { value: Some(Operand::Local(1)) },
+        ],
+    ));
+
+    Program::new(
+        vec![account, registry, person, main, string_util],
+        MethodRef::new("Main", "main"),
+    )
+    .expect("bank program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::Side;
+
+    #[test]
+    fn bank_program_validates() {
+        let p = bank_program();
+        assert_eq!(p.classes.len(), 5);
+        assert_eq!(p.main, MethodRef::new("Main", "main"));
+    }
+
+    #[test]
+    fn trust_annotations_match_listing_1() {
+        let p = bank_program();
+        assert!(p.class("Account").unwrap().home_is(Side::Trusted));
+        assert!(p.class("AccountRegistry").unwrap().home_is(Side::Trusted));
+        assert!(p.class("Person").unwrap().home_is(Side::Untrusted));
+        assert!(p.class("Main").unwrap().home_is(Side::Untrusted));
+        assert_eq!(p.class("StringUtil").unwrap().trust, Trust::Neutral);
+    }
+}

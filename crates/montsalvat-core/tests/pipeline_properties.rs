@@ -1,0 +1,202 @@
+//! Property-based tests for the partitioning pipeline: the transformer
+//! and the reachability analysis must uphold their invariants on
+//! arbitrary (well-formed) programs.
+
+use montsalvat_core::analysis::{analyze, prune};
+use montsalvat_core::annotation::Trust;
+use montsalvat_core::class::{
+    ClassDef, ClassRole, Instr, MethodBody, MethodDef, MethodKind, MethodRef, Operand, Program,
+    CTOR,
+};
+use montsalvat_core::image_builder::{build_partitioned_images, ImageOptions};
+use montsalvat_core::transform::{is_relay_name, relay_name, transform, PROXY_HASH_FIELD};
+use proptest::prelude::*;
+
+/// Compact spec of a random program: per class, a trust tag and a list
+/// of (callee_class, callee_method) edge picks.
+#[derive(Debug, Clone)]
+struct ProgramSpec {
+    classes: Vec<(u8, Vec<(u8, u8)>)>,
+}
+
+fn program_spec() -> impl Strategy<Value = ProgramSpec> {
+    proptest::collection::vec(
+        (0u8..3, proptest::collection::vec((any::<u8>(), any::<u8>()), 0..4)),
+        1..10,
+    )
+    .prop_map(|classes| ProgramSpec { classes })
+}
+
+/// Materialises a spec into a valid program: class `Ci` with methods
+/// `m0..m2`; edges resolve modulo the class/method count; `Main` is
+/// untrusted and calls into class 0.
+fn build_program(spec: &ProgramSpec) -> Program {
+    let n = spec.classes.len();
+    let mut classes = Vec::with_capacity(n + 1);
+    for (i, (trust_tag, edges)) in spec.classes.iter().enumerate() {
+        let trust = match trust_tag % 3 {
+            0 => Trust::Trusted,
+            1 => Trust::Untrusted,
+            _ => Trust::Neutral,
+        };
+        let mut class = ClassDef::new(format!("C{i}"))
+            .trust(trust)
+            .field("f")
+            .method(MethodDef::interpreted(
+                CTOR,
+                MethodKind::Constructor,
+                0,
+                0,
+                vec![Instr::Return { value: None }],
+            ));
+        for (m, _) in (0..3).zip(std::iter::repeat(())) {
+            let declared: Vec<MethodRef> = edges
+                .iter()
+                .map(|(c, mm)| {
+                    MethodRef::new(format!("C{}", *c as usize % n), format!("m{}", mm % 3))
+                })
+                .collect();
+            class = class.method(MethodDef {
+                name: format!("m{m}"),
+                kind: MethodKind::Instance,
+                param_count: 0,
+                locals: 0,
+                body: MethodBody::Instrs(vec![Instr::Return { value: None }]),
+                declared_calls: declared,
+            });
+        }
+        classes.push(class);
+    }
+    classes.push(ClassDef::new("Main").trust(Trust::Untrusted).method(
+        MethodDef::interpreted(
+            "main",
+            MethodKind::Static,
+            0,
+            1,
+            vec![
+                Instr::New { dst: 0, class: "C0".into(), args: vec![] },
+                Instr::Call {
+                    dst: None,
+                    class: "C0".into(),
+                    recv: Operand::Local(0),
+                    method: "m0".into(),
+                    args: vec![],
+                },
+                Instr::Return { value: None },
+            ],
+        ),
+    ));
+    Program::new(classes, MethodRef::new("Main", "main")).expect("spec produces valid programs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transformer invariants: annotated classes get a concrete version
+    /// with relays in their home set and a stripped proxy in the other;
+    /// neutral classes pass through untouched.
+    #[test]
+    fn transformer_invariants(spec in program_spec()) {
+        let program = build_program(&spec);
+        let tp = transform(&program);
+
+        for class in &program.classes {
+            match class.trust {
+                Trust::Neutral => {
+                    let kept = tp.neutral_set.iter().find(|c| c.name == class.name)
+                        .expect("neutral class kept");
+                    prop_assert_eq!(kept.methods.len(), class.methods.len());
+                    prop_assert!(kept.methods.iter().all(|m| !is_relay_name(&m.name)));
+                }
+                annotated => {
+                    let (home, away) = if annotated == Trust::Trusted {
+                        (&tp.trusted_set, &tp.untrusted_set)
+                    } else {
+                        (&tp.untrusted_set, &tp.trusted_set)
+                    };
+                    let concrete = home.iter()
+                        .find(|c| c.name == class.name && c.role == ClassRole::Concrete)
+                        .expect("concrete version in home set");
+                    // One relay per original method, targeting it.
+                    for m in &class.methods {
+                        let relay = concrete.find_method(&relay_name(&m.name))
+                            .expect("relay exists");
+                        prop_assert_eq!(relay.kind, MethodKind::Static);
+                        let is_relay_to_target = matches!(&relay.body,
+                            MethodBody::Relay { target, .. } if target == &m.name);
+                        prop_assert!(is_relay_to_target);
+                    }
+                    prop_assert_eq!(concrete.methods.len(), class.methods.len() * 2);
+
+                    let proxy = away.iter()
+                        .find(|c| c.name == class.name && c.role == ClassRole::Proxy)
+                        .expect("proxy in opposite set");
+                    prop_assert_eq!(&proxy.fields, &vec![PROXY_HASH_FIELD.to_owned()]);
+                    prop_assert_eq!(proxy.methods.len(), class.methods.len());
+                    for m in &proxy.methods {
+                        let is_proxy_call = matches!(&m.body, MethodBody::ProxyCall { .. });
+                        prop_assert!(is_proxy_call);
+                        // EDL declares the edge routine for every proxy method.
+                        prop_assert!(tp.edl.contains(
+                            &montsalvat_core::transform::edge_routine_name(
+                                annotated, &class.name, &m.name)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Analysis invariants: reachability is a subset of the class set,
+    /// pruning preserves the fixed point, and pruned images never
+    /// contain methods unreachable from their entry points.
+    #[test]
+    fn analysis_and_pruning_invariants(spec in program_spec()) {
+        let program = build_program(&spec);
+        let tp = transform(&program);
+        let mut classes = tp.untrusted_set.clone();
+        classes.extend(tp.neutral_set.clone());
+        let entries = vec![tp.main.clone()];
+        let reach = analyze(&classes, &entries);
+
+        // Every reached method names an existing class+method.
+        for m in &reach.methods {
+            let class = classes.iter().find(|c| c.name == m.class).expect("reached class exists");
+            prop_assert!(class.find_method(&m.method).is_some());
+        }
+        // Pruning preserves the fixed point.
+        let pruned = prune(classes.clone(), &reach);
+        let reach_after = analyze(&pruned, &entries);
+        prop_assert_eq!(&reach, &reach_after);
+        // Nothing unreachable survives.
+        for class in &pruned {
+            for m in &class.methods {
+                prop_assert!(reach.contains_method(&class.name, &m.name),
+                    "{}::{} survived pruning unreachable", class.name, m.name);
+            }
+        }
+    }
+
+    /// Image building is deterministic and both images always build.
+    #[test]
+    fn image_building_is_deterministic(spec in program_spec()) {
+        let program = build_program(&spec);
+        let tp = transform(&program);
+        let (t1, u1) =
+            build_partitioned_images(&tp, &ImageOptions::default(), &ImageOptions::default())
+                .expect("images build");
+        let (t2, u2) =
+            build_partitioned_images(&tp, &ImageOptions::default(), &ImageOptions::default())
+                .expect("images build again");
+        prop_assert_eq!(t1.measurement_bytes(), t2.measurement_bytes());
+        prop_assert_eq!(u1.measurement_bytes(), u2.measurement_bytes());
+        // The two images never share a measurement (names differ).
+        prop_assert_ne!(t1.measurement_bytes(), u1.measurement_bytes());
+        // Trusted image contains no untrusted concrete classes and vice versa.
+        for c in &t1.classes {
+            prop_assert!(!(c.trust == Trust::Untrusted && c.role == ClassRole::Concrete));
+        }
+        for c in &u1.classes {
+            prop_assert!(!(c.trust == Trust::Trusted && c.role == ClassRole::Concrete));
+        }
+    }
+}

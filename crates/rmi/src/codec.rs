@@ -1,0 +1,506 @@
+//! Serialization of managed values across the enclave boundary.
+//!
+//! Relay methods pass primitives by value, annotated-class references by
+//! proxy hash, and *neutral* objects by serialized copy (§5.2). This
+//! module implements that wire format: a compact, self-describing binary
+//! encoding of [`Value`] graphs with
+//!
+//! - inline deep copies for neutral objects,
+//! - back-references so shared substructure and cycles encode finitely,
+//! - hash references for objects the caller maps to proxies/mirrors.
+//!
+//! The caller supplies the policy that decides, per object reference,
+//! whether to inline or hash-reference it — keeping the codec free of
+//! class-annotation knowledge.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use runtime_sim::heap::Heap;
+use runtime_sim::value::{ClassId, ObjId, Value};
+
+use crate::hash::ProxyHash;
+
+/// How a heap reference crosses the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefEncoding {
+    /// Deep-copy the referenced object into the stream (neutral classes).
+    Inline,
+    /// Replace the reference by a proxy/mirror hash (annotated classes).
+    Hash(ProxyHash),
+}
+
+/// Errors produced by [`encode_value`] / [`decode_value`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The policy rejected a reference (e.g. a trusted object would leak).
+    ForbiddenRef {
+        /// The offending reference.
+        id: ObjId,
+        /// Why the policy rejected it.
+        reason: String,
+    },
+    /// A reference pointed at a dead object.
+    DeadRef(ObjId),
+    /// The byte stream ended mid-value.
+    Truncated,
+    /// An unknown tag byte was read.
+    BadTag(u8),
+    /// A back-reference index pointed outside the decoded set.
+    BadBackRef(u32),
+    /// A hash reference could not be resolved by the receiver.
+    UnknownHash(ProxyHash),
+    /// The receiving heap refused the allocation.
+    AllocFailed(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::ForbiddenRef { id, reason } => {
+                write!(f, "reference {id} may not cross the boundary: {reason}")
+            }
+            CodecError::DeadRef(id) => write!(f, "reference {id} is dead"),
+            CodecError::Truncated => write!(f, "byte stream truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown value tag {t}"),
+            CodecError::BadBackRef(i) => write!(f, "back-reference {i} out of range"),
+            CodecError::UnknownHash(h) => write!(f, "unresolvable object hash {h}"),
+            CodecError::AllocFailed(m) => write!(f, "receiver allocation failed: {m}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+const TAG_UNIT: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BYTES: u8 = 5;
+const TAG_LIST: u8 = 6;
+const TAG_OBJ: u8 = 7;
+const TAG_BACKREF: u8 = 8;
+const TAG_HASHREF: u8 = 9;
+
+/// Encodes `value` against `heap`, consulting `policy` for every object
+/// reference encountered.
+///
+/// # Errors
+///
+/// Fails if the policy rejects a reference, or a reference is dead.
+pub fn encode_value(
+    heap: &Heap,
+    value: &Value,
+    policy: &mut impl FnMut(ObjId) -> Result<RefEncoding, CodecError>,
+) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    let mut seen: HashMap<ObjId, u32> = HashMap::new();
+    encode_inner(heap, value, policy, &mut seen, &mut out)?;
+    Ok(out)
+}
+
+fn encode_inner(
+    heap: &Heap,
+    value: &Value,
+    policy: &mut impl FnMut(ObjId) -> Result<RefEncoding, CodecError>,
+    seen: &mut HashMap<ObjId, u32>,
+    out: &mut Vec<u8>,
+) -> Result<(), CodecError> {
+    match value {
+        Value::Unit => out.push(TAG_UNIT),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        Value::List(vs) => {
+            out.push(TAG_LIST);
+            out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+            for v in vs {
+                encode_inner(heap, v, policy, seen, out)?;
+            }
+        }
+        Value::Ref(id) => {
+            if let Some(&idx) = seen.get(id) {
+                out.push(TAG_BACKREF);
+                out.extend_from_slice(&idx.to_le_bytes());
+                return Ok(());
+            }
+            match policy(*id)? {
+                RefEncoding::Hash(h) => {
+                    out.push(TAG_HASHREF);
+                    out.extend_from_slice(&h.0.to_le_bytes());
+                }
+                RefEncoding::Inline => {
+                    let class = heap.class_of(*id).ok_or(CodecError::DeadRef(*id))?;
+                    let fields = heap.fields(*id).ok_or(CodecError::DeadRef(*id))?.to_vec();
+                    // Register before encoding fields so cycles terminate.
+                    let idx = seen.len() as u32;
+                    seen.insert(*id, idx);
+                    out.push(TAG_OBJ);
+                    out.extend_from_slice(&class.0.to_le_bytes());
+                    out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+                    for f in &fields {
+                        encode_inner(heap, f, policy, seen, out)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Result of decoding: the value plus every object the decode allocated.
+///
+/// Allocated objects are left **rooted** in the receiving heap so an
+/// automatic collection cannot reclaim them before the caller takes
+/// ownership; call [`DecodedValue::unpin`] once the result is anchored.
+#[derive(Debug)]
+pub struct DecodedValue {
+    /// The decoded value.
+    pub value: Value,
+    /// Objects allocated by the decode, in allocation order.
+    pub allocated: Vec<ObjId>,
+}
+
+impl DecodedValue {
+    /// Releases the temporary roots on all allocated objects.
+    pub fn unpin(self, heap: &mut Heap) -> Value {
+        for id in &self.allocated {
+            heap.remove_root(*id);
+        }
+        self.value
+    }
+}
+
+/// Decodes a value into `heap`, resolving hash references via `resolve`.
+///
+/// # Errors
+///
+/// Fails on malformed input, unresolvable hashes, or allocation failure.
+pub fn decode_value(
+    heap: &mut Heap,
+    bytes: &[u8],
+    resolve: &mut impl FnMut(ProxyHash) -> Result<Value, CodecError>,
+) -> Result<DecodedValue, CodecError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    let mut allocated = Vec::new();
+    let value = decode_inner(heap, &mut cursor, resolve, &mut allocated)?;
+    Ok(DecodedValue { value, allocated })
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Validates a claimed element count against the remaining input:
+    /// every encoded element occupies at least one byte, so any larger
+    /// claim is malformed (and would otherwise drive huge allocations).
+    fn checked_count(&self, claimed: u32) -> Result<usize, CodecError> {
+        if claimed as usize > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(claimed as usize)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], CodecError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("16 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+fn decode_inner(
+    heap: &mut Heap,
+    cur: &mut Cursor<'_>,
+    resolve: &mut impl FnMut(ProxyHash) -> Result<Value, CodecError>,
+    allocated: &mut Vec<ObjId>,
+) -> Result<Value, CodecError> {
+    match cur.u8()? {
+        TAG_UNIT => Ok(Value::Unit),
+        TAG_BOOL => Ok(Value::Bool(cur.u8()? != 0)),
+        TAG_INT => Ok(Value::Int(cur.i64()?)),
+        TAG_FLOAT => Ok(Value::Float(cur.f64()?)),
+        TAG_STR => {
+            let len = cur.u32()? as usize;
+            let raw = cur.take(len)?;
+            Ok(Value::Str(String::from_utf8_lossy(raw).into_owned()))
+        }
+        TAG_BYTES => {
+            let len = cur.u32()? as usize;
+            Ok(Value::Bytes(cur.take(len)?.to_vec()))
+        }
+        TAG_LIST => {
+            let claimed = cur.u32()?;
+            let len = cur.checked_count(claimed)?;
+            let mut vs = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                vs.push(decode_inner(heap, cur, resolve, allocated)?);
+            }
+            Ok(Value::List(vs))
+        }
+        TAG_OBJ => {
+            let class = ClassId(cur.u32()?);
+            let claimed = cur.u32()?;
+            let nfields = cur.checked_count(claimed)?;
+            // Allocate a placeholder first so cyclic back-refs resolve.
+            let id = heap
+                .alloc(class, vec![Value::Unit; nfields])
+                .map_err(|e| CodecError::AllocFailed(e.to_string()))?;
+            heap.add_root(id);
+            allocated.push(id);
+            for idx in 0..nfields {
+                let v = decode_inner(heap, cur, resolve, allocated)?;
+                heap.set_field(id, idx, v);
+            }
+            Ok(Value::Ref(id))
+        }
+        TAG_BACKREF => {
+            let idx = cur.u32()?;
+            let id = allocated
+                .get(idx as usize)
+                .copied()
+                .ok_or(CodecError::BadBackRef(idx))?;
+            Ok(Value::Ref(id))
+        }
+        TAG_HASHREF => {
+            let h = ProxyHash(cur.u128()?);
+            resolve(h)
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// Convenience policy that inlines every reference (valid when the value
+/// graph is known to contain only neutral objects).
+pub fn inline_all(_: ObjId) -> Result<RefEncoding, CodecError> {
+    Ok(RefEncoding::Inline)
+}
+
+/// Convenience resolver that rejects every hash (valid when the stream
+/// is known to contain no hash references).
+pub fn resolve_none(h: ProxyHash) -> Result<Value, CodecError> {
+    Err(CodecError::UnknownHash(h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime_sim::heap::HeapConfig;
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig { gc_threshold_bytes: u64::MAX, ..HeapConfig::default() })
+    }
+
+    fn roundtrip(value: &Value, src: &Heap, dst: &mut Heap) -> Value {
+        let bytes = encode_value(src, value, &mut inline_all).unwrap();
+        let decoded = decode_value(dst, &bytes, &mut resolve_none).unwrap();
+        decoded.unpin(dst)
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let src = heap();
+        let mut dst = heap();
+        for v in [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Int(-17),
+            Value::Float(3.5),
+            Value::Str("héllo".into()),
+            Value::Bytes(vec![1, 2, 3]),
+            Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+        ] {
+            assert_eq!(roundtrip(&v, &src, &mut dst), v);
+        }
+    }
+
+    #[test]
+    fn neutral_objects_deep_copy() {
+        let mut src = heap();
+        let inner = src.alloc(ClassId(5), vec![Value::Int(7)]).unwrap();
+        let outer = src.alloc(ClassId(6), vec![Value::Ref(inner), Value::from("s")]).unwrap();
+        src.add_root(outer);
+
+        let mut dst = heap();
+        let out = roundtrip(&Value::Ref(outer), &src, &mut dst);
+        let new_outer = out.as_ref_id().unwrap();
+        assert_eq!(dst.class_of(new_outer), Some(ClassId(6)));
+        let new_inner = dst.field(new_outer, 0).unwrap().as_ref_id().unwrap();
+        assert_eq!(dst.class_of(new_inner), Some(ClassId(5)));
+        assert_eq!(dst.field(new_inner, 0), Some(&Value::Int(7)));
+        // Copies, not aliases.
+        assert_eq!(dst.live_objects(), 2);
+    }
+
+    #[test]
+    fn shared_substructure_is_preserved() {
+        let mut src = heap();
+        let shared = src.alloc(ClassId(1), vec![Value::Int(9)]).unwrap();
+        let top = src
+            .alloc(ClassId(2), vec![Value::Ref(shared), Value::Ref(shared)])
+            .unwrap();
+        src.add_root(top);
+
+        let mut dst = heap();
+        let out = roundtrip(&Value::Ref(top), &src, &mut dst);
+        let new_top = out.as_ref_id().unwrap();
+        let a = dst.field(new_top, 0).unwrap().as_ref_id().unwrap();
+        let b = dst.field(new_top, 1).unwrap().as_ref_id().unwrap();
+        assert_eq!(a, b, "sharing survives the roundtrip");
+        assert_eq!(dst.live_objects(), 2, "shared object copied once");
+    }
+
+    #[test]
+    fn cycles_roundtrip() {
+        let mut src = heap();
+        let a = src.alloc(ClassId(0), vec![Value::Unit]).unwrap();
+        let b = src.alloc(ClassId(0), vec![Value::Ref(a)]).unwrap();
+        src.set_field(a, 0, Value::Ref(b));
+        src.add_root(a);
+
+        let mut dst = heap();
+        let out = roundtrip(&Value::Ref(a), &src, &mut dst);
+        let na = out.as_ref_id().unwrap();
+        let nb = dst.field(na, 0).unwrap().as_ref_id().unwrap();
+        assert_eq!(dst.field(nb, 0).unwrap().as_ref_id(), Some(na));
+    }
+
+    #[test]
+    fn hash_refs_substitute_via_resolver() {
+        let mut src = heap();
+        let trusted = src.alloc(ClassId(9), vec![]).unwrap();
+        src.add_root(trusted);
+        let the_hash = ProxyHash(0xdead_beef);
+        let bytes = encode_value(&src, &Value::Ref(trusted), &mut |_id| {
+            Ok(RefEncoding::Hash(the_hash))
+        })
+        .unwrap();
+
+        let mut dst = heap();
+        let mirror = dst.alloc(ClassId(9), vec![]).unwrap();
+        dst.add_root(mirror);
+        let decoded = decode_value(&mut dst, &bytes, &mut |h| {
+            assert_eq!(h, the_hash);
+            Ok(Value::Ref(mirror))
+        })
+        .unwrap();
+        assert_eq!(decoded.value.as_ref_id(), Some(mirror));
+        assert!(decoded.allocated.is_empty());
+    }
+
+    #[test]
+    fn policy_can_forbid_refs() {
+        let mut src = heap();
+        let secret = src.alloc(ClassId(3), vec![Value::from("key")]).unwrap();
+        src.add_root(secret);
+        let err = encode_value(&src, &Value::Ref(secret), &mut |id| {
+            Err(CodecError::ForbiddenRef { id, reason: "trusted field would leak".into() })
+        })
+        .unwrap_err();
+        assert!(matches!(err, CodecError::ForbiddenRef { .. }));
+    }
+
+    #[test]
+    fn dead_refs_are_rejected() {
+        let mut src = heap();
+        let id = src.alloc(ClassId(0), vec![]).unwrap();
+        src.collect(); // reclaims the unrooted object
+        let err = encode_value(&src, &Value::Ref(id), &mut inline_all).unwrap_err();
+        assert_eq!(err, CodecError::DeadRef(id));
+    }
+
+    #[test]
+    fn truncated_and_bad_tag_inputs_error() {
+        let mut dst = heap();
+        assert_eq!(
+            decode_value(&mut dst, &[], &mut resolve_none).unwrap_err(),
+            CodecError::Truncated
+        );
+        assert_eq!(
+            decode_value(&mut dst, &[TAG_INT, 1, 2], &mut resolve_none).unwrap_err(),
+            CodecError::Truncated
+        );
+        assert_eq!(
+            decode_value(&mut dst, &[42], &mut resolve_none).unwrap_err(),
+            CodecError::BadTag(42)
+        );
+    }
+
+    #[test]
+    fn bad_backref_is_detected() {
+        let mut bytes = vec![TAG_BACKREF];
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        let mut dst = heap();
+        assert_eq!(
+            decode_value(&mut dst, &bytes, &mut resolve_none).unwrap_err(),
+            CodecError::BadBackRef(7)
+        );
+    }
+
+    #[test]
+    fn decoded_objects_survive_gc_until_unpinned() {
+        let mut src = heap();
+        let obj = src.alloc(ClassId(1), vec![Value::Int(5)]).unwrap();
+        src.add_root(obj);
+        let bytes = encode_value(&src, &Value::Ref(obj), &mut inline_all).unwrap();
+
+        let mut dst = heap();
+        let decoded = decode_value(&mut dst, &bytes, &mut resolve_none).unwrap();
+        let new_id = decoded.value.as_ref_id().unwrap();
+        dst.collect();
+        assert!(dst.is_live(new_id), "pinned through GC");
+        decoded.unpin(&mut dst);
+        dst.collect();
+        assert!(!dst.is_live(new_id), "reclaimed after unpin");
+    }
+}

@@ -1,0 +1,135 @@
+//! The GC helper thread (§5.5).
+//!
+//! Montsalvat spawns one helper thread per runtime. Each periodically
+//! scans its runtime's proxy weak-reference list; hashes of collected
+//! proxies are relayed to the opposite runtime, whose mirror-proxy
+//! registry drops the matching strong references — making the mirrors
+//! eligible for collection. This module provides the thread harness;
+//! the scan-and-relay closure is wired up by the partitioned-application
+//! runtime, which owns the worlds and the enclave.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A periodic scanner thread with graceful shutdown.
+///
+/// The helper runs `tick` every `interval` until stopped or dropped.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::time::Duration;
+/// use rmi::gc_helper::GcHelper;
+///
+/// let hits = Arc::new(AtomicU64::new(0));
+/// let seen = Arc::clone(&hits);
+/// let helper = GcHelper::spawn("trusted-gc-helper", Duration::from_millis(5), move || {
+///     seen.fetch_add(1, Ordering::Relaxed);
+/// });
+/// std::thread::sleep(Duration::from_millis(40));
+/// helper.stop();
+/// assert!(hits.load(Ordering::Relaxed) > 0);
+/// ```
+#[derive(Debug)]
+pub struct GcHelper {
+    stop: Arc<AtomicBool>,
+    ticks: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl GcHelper {
+    /// Spawns a helper named `name` running `tick` every `interval`.
+    pub fn spawn(
+        name: impl Into<String>,
+        interval: Duration,
+        mut tick: impl FnMut() + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ticks = Arc::new(AtomicU64::new(0));
+        let stop_flag = Arc::clone(&stop);
+        let tick_count = Arc::clone(&ticks);
+        let handle = std::thread::Builder::new()
+            .name(name.into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    tick();
+                    tick_count.fetch_add(1, Ordering::Relaxed);
+                    // Sleep in short slices so shutdown is prompt even
+                    // with long scan intervals.
+                    let mut remaining = interval;
+                    let slice = Duration::from_millis(5);
+                    while remaining > Duration::ZERO && !stop_flag.load(Ordering::Acquire) {
+                        let nap = remaining.min(slice);
+                        std::thread::sleep(nap);
+                        remaining = remaining.saturating_sub(nap);
+                    }
+                }
+            })
+            .expect("spawn gc helper thread");
+        GcHelper { stop, ticks, handle: Some(handle) }
+    }
+
+    /// Number of completed scan ticks.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Stops the helper and waits for its thread to exit.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for GcHelper {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_ticks_repeatedly() {
+        let helper = GcHelper::spawn("t", Duration::from_millis(1), || {});
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(helper.ticks() >= 2);
+        helper.stop();
+    }
+
+    #[test]
+    fn stop_is_prompt_even_with_long_interval() {
+        let helper = GcHelper::spawn("t", Duration::from_secs(60), || {});
+        std::thread::sleep(Duration::from_millis(10));
+        let started = std::time::Instant::now();
+        helper.stop();
+        assert!(started.elapsed() < Duration::from_secs(1), "stop did not block on interval");
+    }
+
+    #[test]
+    fn drop_stops_the_thread() {
+        let ran = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&ran);
+        {
+            let _helper = GcHelper::spawn("t", Duration::from_millis(1), move || {
+                seen.fetch_add(1, Ordering::Relaxed);
+            });
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let after_drop = ran.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(ran.load(Ordering::Relaxed), after_drop, "no ticks after drop");
+    }
+}

@@ -1,0 +1,37 @@
+//! # rmi — the RMI-like cross-enclave object layer of the Montsalvat reproduction
+//!
+//! Montsalvat lets objects in the trusted and untrusted runtimes call
+//! each other through an RMI-like mechanism (§5.2, §5.5 of the paper).
+//! This crate provides the mechanism's building blocks, independent of
+//! class metadata:
+//!
+//! - [`hash`] — proxy identity hashes ([`ProxyHash`](hash::ProxyHash)),
+//!   with both the prototype's Java-identity scheme and the recommended
+//!   wide scheme;
+//! - [`codec`] — the wire format that deep-copies neutral objects,
+//!   preserves shared substructure/cycles, and hash-references
+//!   annotated objects;
+//! - [`registry`] — the mirror-proxy registry holding strong references
+//!   to mirror objects, keyed by proxy hash;
+//! - [`weaklist`] — the per-runtime weak-reference list of live proxies;
+//! - [`gc_helper`] — the periodic scanner thread that drives
+//!   cross-runtime garbage-collection consistency.
+//!
+//! The partitioned-application runtime in `montsalvat-core` wires these
+//! pieces to the enclave simulator (crossings, charges) and the class
+//! model (which references are neutral vs. annotated).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod gc_helper;
+pub mod hash;
+pub mod registry;
+pub mod weaklist;
+
+pub use codec::{decode_value, encode_value, CodecError, DecodedValue, RefEncoding};
+pub use gc_helper::GcHelper;
+pub use hash::{HashScheme, ProxyHash, ProxyHasher};
+pub use registry::MirrorProxyRegistry;
+pub use weaklist::ProxyWeakList;

@@ -1,0 +1,126 @@
+//! The per-runtime proxy weak-reference list (§5.5).
+//!
+//! When a proxy object is created, Montsalvat stores a weak reference to
+//! it, together with its hash, in a global list. The GC helper thread
+//! periodically scans the list for weak references whose referent has
+//! been collected; each cleared entry yields the hash of a mirror that
+//! can now be dropped from the opposite runtime's registry.
+
+use runtime_sim::heap::{Heap, WeakRef};
+use runtime_sim::value::ObjId;
+
+use crate::hash::ProxyHash;
+
+/// Weak tracking of live proxies in one runtime.
+#[derive(Debug, Default)]
+pub struct ProxyWeakList {
+    entries: Vec<(WeakRef, ProxyHash)>,
+}
+
+impl ProxyWeakList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts tracking `proxy` (which carries `hash`).
+    pub fn track(&mut self, heap: &mut Heap, proxy: ObjId, hash: ProxyHash) {
+        let weak = heap.new_weak(proxy);
+        self.entries.push((weak, hash));
+    }
+
+    /// Scans for proxies that have been collected: removes their entries
+    /// and returns their hashes (the mirrors to release remotely).
+    pub fn scan_dead(&mut self, heap: &Heap) -> Vec<ProxyHash> {
+        let mut dead = Vec::new();
+        self.entries.retain(|(weak, hash)| {
+            if heap.weak_get(*weak).is_none() {
+                dead.push(*hash);
+                false
+            } else {
+                true
+            }
+        });
+        dead
+    }
+
+    /// Number of proxies still tracked (live or not yet scanned).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no proxies are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use runtime_sim::heap::HeapConfig;
+    use runtime_sim::value::{ClassId, Value};
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig { gc_threshold_bytes: u64::MAX, ..HeapConfig::default() })
+    }
+
+    #[test]
+    fn live_proxies_are_not_reported() {
+        let mut h = heap();
+        let mut list = ProxyWeakList::new();
+        let proxy = h.alloc(ClassId(1), vec![Value::Int(1)]).unwrap();
+        h.add_root(proxy);
+        list.track(&mut h, proxy, ProxyHash(11));
+        h.collect();
+        assert!(list.scan_dead(&h).is_empty());
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn dead_proxies_yield_their_hashes_once() {
+        let mut h = heap();
+        let mut list = ProxyWeakList::new();
+        let live = h.alloc(ClassId(1), vec![]).unwrap();
+        h.add_root(live);
+        let dead = h.alloc(ClassId(1), vec![]).unwrap();
+        list.track(&mut h, live, ProxyHash(1));
+        list.track(&mut h, dead, ProxyHash(2));
+        h.collect();
+        assert_eq!(list.scan_dead(&h), vec![ProxyHash(2)]);
+        assert!(list.scan_dead(&h).is_empty(), "entries are removed after reporting");
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn tracking_does_not_keep_proxies_alive() {
+        let mut h = heap();
+        let mut list = ProxyWeakList::new();
+        let proxy = h.alloc(ClassId(1), vec![]).unwrap();
+        list.track(&mut h, proxy, ProxyHash(5));
+        h.collect();
+        assert!(!h.is_live(proxy), "weak tracking is weak");
+        assert_eq!(list.scan_dead(&h), vec![ProxyHash(5)]);
+    }
+
+    #[test]
+    fn many_proxies_scan_correctly() {
+        let mut h = heap();
+        let mut list = ProxyWeakList::new();
+        let mut kept = Vec::new();
+        for i in 0..100 {
+            let p = h.alloc(ClassId(0), vec![]).unwrap();
+            if i % 2 == 0 {
+                h.add_root(p);
+                kept.push(ProxyHash(i as u128));
+            }
+            list.track(&mut h, p, ProxyHash(i as u128));
+        }
+        h.collect();
+        let mut dead = list.scan_dead(&h);
+        dead.sort();
+        assert_eq!(dead.len(), 50);
+        assert!(dead.iter().all(|h| h.0 % 2 == 1));
+        assert_eq!(list.len(), 50);
+    }
+}

@@ -1,0 +1,659 @@
+//! A serial stop-and-copy heap with weak references.
+//!
+//! GraalVM native images embed a serial stop-and-copy collector (§6.4 of
+//! the paper cites it as the cause of in-enclave GC overhead: the copy
+//! phase moves every live byte through the MEE). This module implements
+//! that collector for the simulated runtime:
+//!
+//! - Objects live in a *from-space* arena; collection traces from roots
+//!   and **moves** every live object into a fresh *to-space*, so the
+//!   bytes-copied figure reported to the [`HeapObserver`] is exactly the
+//!   live set — the traffic an enclave pays MEE costs on.
+//! - References are generational handles ([`ObjId`]) resolved through a
+//!   handle table, so moving objects never invalidates references and
+//!   stale handles are detected instead of misread.
+//! - [`WeakRef`]s do not keep objects alive and are atomically cleared
+//!   by the collection that reclaims their referent — the primitive
+//!   Montsalvat's GC helper builds on (§5.5).
+
+use std::time::Instant;
+
+use crate::value::{ClassId, ObjId, Value};
+
+/// Per-object header bytes charged in the size model.
+pub const OBJECT_HEADER_BYTES: u64 = 16;
+
+/// Observer hooks for memory traffic, used to charge enclave costs.
+///
+/// All methods have empty defaults so observers implement only what they
+/// need. Implementations must be cheap; they run under the heap lock.
+pub trait HeapObserver: Send + Sync {
+    /// `bytes` of new allocation were committed.
+    fn on_alloc(&self, bytes: u64) {
+        let _ = bytes;
+    }
+    /// A collection copied `bytes` of live data (semispace copy phase).
+    fn on_gc_copy(&self, bytes: u64) {
+        let _ = bytes;
+    }
+    /// `bytes` of dead data were reclaimed.
+    fn on_free(&self, bytes: u64) {
+        let _ = bytes;
+    }
+}
+
+/// Heap construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeapConfig {
+    /// Allocation volume between automatic collections, in bytes.
+    pub gc_threshold_bytes: u64,
+    /// Hard cap on live bytes; exceeded means the managed application is
+    /// out of memory. `u64::MAX` disables the cap.
+    pub max_heap_bytes: u64,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        // Native images in the paper are built with 2 GB max heaps (§6.1).
+        HeapConfig { gc_threshold_bytes: 32 * 1024 * 1024, max_heap_bytes: 2 * 1024 * 1024 * 1024 }
+    }
+}
+
+/// Counters describing heap activity since creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapStats {
+    /// Completed collections.
+    pub collections: u64,
+    /// Objects allocated.
+    pub objects_allocated: u64,
+    /// Objects reclaimed by GC.
+    pub objects_freed: u64,
+    /// Bytes allocated.
+    pub bytes_allocated: u64,
+    /// Live bytes copied by all collections.
+    pub bytes_copied: u64,
+    /// Bytes reclaimed by all collections.
+    pub bytes_freed: u64,
+    /// Real time spent inside [`Heap::collect`], in nanoseconds.
+    pub gc_real_ns: u64,
+}
+
+/// Handle to a weak reference registered with [`Heap::new_weak`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WeakRef(u32);
+
+/// Result of one collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcOutcome {
+    /// Objects that survived (were copied).
+    pub survivors: usize,
+    /// Objects reclaimed.
+    pub reclaimed: usize,
+    /// Bytes copied to to-space.
+    pub bytes_copied: u64,
+    /// Bytes reclaimed.
+    pub bytes_freed: u64,
+    /// Weak references cleared by this collection.
+    pub weaks_cleared: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    /// Index into the arena, or `None` while free.
+    target: Option<u32>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    slot: u32,
+    class: ClassId,
+    fields: Vec<Value>,
+    size: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WeakEntry {
+    target: Option<ObjId>,
+}
+
+/// Error raised when the configured heap maximum is exceeded even after
+/// collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Live bytes at the point of failure.
+    pub live_bytes: u64,
+    /// Requested allocation size.
+    pub requested: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "managed heap exhausted: {} live bytes + {} requested", self.live_bytes, self.requested)
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// A managed heap with a serial stop-and-copy collector.
+///
+/// Not internally synchronised; callers (an
+/// [`Isolate`](crate::isolate::Isolate)) wrap it in a lock. All
+/// `&mut self` operations are stop-the-world by construction.
+///
+/// # Examples
+///
+/// ```
+/// use runtime_sim::heap::{Heap, HeapConfig};
+/// use runtime_sim::value::{ClassId, Value};
+///
+/// let mut heap = Heap::new(HeapConfig::default());
+/// let account = heap.alloc(ClassId(1), vec![Value::from("Alice"), Value::from(100i64)]).unwrap();
+/// heap.add_root(account);
+/// heap.collect();
+/// assert!(heap.is_live(account));
+/// heap.remove_root(account);
+/// heap.collect();
+/// assert!(!heap.is_live(account));
+/// ```
+pub struct Heap {
+    config: HeapConfig,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    arena: Vec<Entry>,
+    roots: std::collections::HashMap<u32, u32>,
+    weaks: Vec<WeakEntry>,
+    live_bytes: u64,
+    alloc_since_gc: u64,
+    stats: HeapStats,
+    observer: Option<std::sync::Arc<dyn HeapObserver>>,
+}
+
+impl std::fmt::Debug for Heap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heap")
+            .field("live_objects", &self.arena.len())
+            .field("live_bytes", &self.live_bytes)
+            .field("roots", &self.roots.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new(config: HeapConfig) -> Self {
+        Heap {
+            config,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            arena: Vec::new(),
+            roots: std::collections::HashMap::new(),
+            weaks: Vec::new(),
+            live_bytes: 0,
+            alloc_since_gc: 0,
+            stats: HeapStats::default(),
+            observer: None,
+        }
+    }
+
+    /// Installs the traffic observer (e.g. the enclave charger). At most
+    /// one observer is supported; installing replaces the previous one.
+    pub fn set_observer(&mut self, observer: std::sync::Arc<dyn HeapObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// The configuration the heap was created with.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Bytes currently live (last-GC live set plus subsequent allocation).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Number of live objects.
+    pub fn live_objects(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn object_size(fields: &[Value]) -> u64 {
+        OBJECT_HEADER_BYTES + fields.iter().map(Value::shallow_size).sum::<u64>()
+    }
+
+    /// Allocates an object, running an automatic collection first when
+    /// the allocation budget since the last GC is exhausted.
+    ///
+    /// Field values containing [`Value::Ref`]s must reference live,
+    /// *rooted* objects — an automatic collection may run before the new
+    /// object exists, and unrooted referents would be reclaimed by it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when live bytes would exceed the
+    /// configured maximum even after a forced collection.
+    pub fn alloc(&mut self, class: ClassId, fields: Vec<Value>) -> Result<ObjId, OutOfMemory> {
+        let size = Self::object_size(&fields);
+        if self.alloc_since_gc >= self.config.gc_threshold_bytes {
+            self.collect();
+        }
+        if self.live_bytes + size > self.config.max_heap_bytes {
+            self.collect();
+            if self.live_bytes + size > self.config.max_heap_bytes {
+                return Err(OutOfMemory { live_bytes: self.live_bytes, requested: size });
+            }
+        }
+        let arena_idx = self.arena.len() as u32;
+        let slot_idx = match self.free_slots.pop() {
+            Some(idx) => {
+                self.slots[idx as usize].target = Some(arena_idx);
+                idx
+            }
+            None => {
+                self.slots.push(Slot { gen: 0, target: Some(arena_idx) });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.arena.push(Entry { slot: slot_idx, class, fields, size });
+        self.live_bytes += size;
+        self.alloc_since_gc += size;
+        self.stats.objects_allocated += 1;
+        self.stats.bytes_allocated += size;
+        if let Some(obs) = &self.observer {
+            obs.on_alloc(size);
+        }
+        Ok(ObjId { index: slot_idx, gen: self.slots[slot_idx as usize].gen })
+    }
+
+    fn resolve(&self, id: ObjId) -> Option<u32> {
+        let slot = self.slots.get(id.index as usize)?;
+        if slot.gen != id.gen {
+            return None;
+        }
+        slot.target
+    }
+
+    /// Whether `id` refers to a live object.
+    pub fn is_live(&self, id: ObjId) -> bool {
+        self.resolve(id).is_some()
+    }
+
+    /// The class of a live object.
+    pub fn class_of(&self, id: ObjId) -> Option<ClassId> {
+        self.resolve(id).map(|i| self.arena[i as usize].class)
+    }
+
+    /// Shared view of an object's fields.
+    pub fn fields(&self, id: ObjId) -> Option<&[Value]> {
+        self.resolve(id).map(|i| self.arena[i as usize].fields.as_slice())
+    }
+
+    /// Reads one field by index.
+    pub fn field(&self, id: ObjId, idx: usize) -> Option<&Value> {
+        self.fields(id)?.get(idx)
+    }
+
+    /// Writes one field by index, updating size accounting.
+    ///
+    /// Returns `false` if the object is dead or the index out of range.
+    pub fn set_field(&mut self, id: ObjId, idx: usize, value: Value) -> bool {
+        let Some(arena_idx) = self.resolve(id) else { return false };
+        let entry = &mut self.arena[arena_idx as usize];
+        let Some(slot_ref) = entry.fields.get_mut(idx) else { return false };
+        let old_size = slot_ref.shallow_size();
+        let new_size = value.shallow_size();
+        *slot_ref = value;
+        entry.size = entry.size + new_size - old_size;
+        self.live_bytes = self.live_bytes + new_size - old_size;
+        true
+    }
+
+    /// Registers `id` as a GC root (counted; call
+    /// [`Heap::remove_root`] symmetrically).
+    pub fn add_root(&mut self, id: ObjId) {
+        if self.resolve(id).is_some() {
+            *self.roots.entry(id.index).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one root registration of `id`.
+    pub fn remove_root(&mut self, id: ObjId) {
+        if let Some(count) = self.roots.get_mut(&id.index) {
+            *count -= 1;
+            if *count == 0 {
+                self.roots.remove(&id.index);
+            }
+        }
+    }
+
+    /// Current root registrations (distinct objects).
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Creates a weak reference to `id`. The reference never keeps the
+    /// object alive and reads as `None` once the object is collected.
+    pub fn new_weak(&mut self, id: ObjId) -> WeakRef {
+        let target = if self.is_live(id) { Some(id) } else { None };
+        self.weaks.push(WeakEntry { target });
+        WeakRef((self.weaks.len() - 1) as u32)
+    }
+
+    /// Reads a weak reference: the referent if it is still live.
+    pub fn weak_get(&self, weak: WeakRef) -> Option<ObjId> {
+        self.weaks.get(weak.0 as usize)?.target
+    }
+
+    /// Number of registered weak references (cleared ones included).
+    pub fn weak_count(&self) -> usize {
+        self.weaks.len()
+    }
+
+    /// Runs a full stop-and-copy collection and returns its outcome.
+    ///
+    /// Live objects are those reachable from roots by following `Ref`
+    /// fields. Every live object is *moved* into a fresh arena (the copy
+    /// phase whose byte volume is reported to the observer); dead slots
+    /// are generation-bumped so stale handles cannot resurrect them, and
+    /// weak references to dead objects are cleared.
+    pub fn collect(&mut self) -> GcOutcome {
+        let started = Instant::now();
+        let old_len = self.arena.len();
+        // Trace: mark live arena entries via BFS from roots.
+        let mut live = vec![false; old_len];
+        let mut stack: Vec<u32> = Vec::new();
+        for &slot_idx in self.roots.keys() {
+            if let Some(arena_idx) = self.slots[slot_idx as usize].target {
+                if !live[arena_idx as usize] {
+                    live[arena_idx as usize] = true;
+                    stack.push(arena_idx);
+                }
+            }
+        }
+        while let Some(arena_idx) = stack.pop() {
+            // Collect child refs first to appease the borrow checker.
+            let mut children: Vec<ObjId> = Vec::new();
+            for field in &self.arena[arena_idx as usize].fields {
+                field.for_each_ref(&mut |id| children.push(id));
+            }
+            for child in children {
+                if let Some(child_idx) = self.resolve(child) {
+                    if !live[child_idx as usize] {
+                        live[child_idx as usize] = true;
+                        stack.push(child_idx);
+                    }
+                }
+            }
+        }
+        // Copy phase: move live entries to the new arena in order.
+        let mut new_arena: Vec<Entry> = Vec::with_capacity(live.iter().filter(|l| **l).count());
+        let mut outcome = GcOutcome::default();
+        for (idx, entry) in std::mem::take(&mut self.arena).into_iter().enumerate() {
+            if live[idx] {
+                outcome.bytes_copied += entry.size;
+                outcome.survivors += 1;
+                self.slots[entry.slot as usize].target = Some(new_arena.len() as u32);
+                new_arena.push(entry);
+            } else {
+                outcome.bytes_freed += entry.size;
+                outcome.reclaimed += 1;
+                let slot = &mut self.slots[entry.slot as usize];
+                slot.target = None;
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free_slots.push(entry.slot);
+            }
+        }
+        self.arena = new_arena;
+        // Clear weak references whose referent died.
+        for weak in &mut self.weaks {
+            if let Some(id) = weak.target {
+                let slot = &self.slots[id.index as usize];
+                if slot.gen != id.gen || slot.target.is_none() {
+                    weak.target = None;
+                    outcome.weaks_cleared += 1;
+                }
+            }
+        }
+        self.live_bytes -= outcome.bytes_freed;
+        self.alloc_since_gc = 0;
+        self.stats.collections += 1;
+        self.stats.objects_freed += outcome.reclaimed as u64;
+        self.stats.bytes_copied += outcome.bytes_copied;
+        self.stats.bytes_freed += outcome.bytes_freed;
+        self.stats.gc_real_ns += started.elapsed().as_nanos() as u64;
+        if let Some(obs) = &self.observer {
+            obs.on_gc_copy(outcome.bytes_copied);
+            obs.on_free(outcome.bytes_freed);
+        }
+        outcome
+    }
+
+    /// Iterates over all live objects as `(id, class, fields)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, ClassId, &[Value])> + '_ {
+        self.arena.iter().map(|e| {
+            (
+                ObjId { index: e.slot, gen: self.slots[e.slot as usize].gen },
+                e.class,
+                e.fields.as_slice(),
+            )
+        })
+    }
+
+    /// Objects currently registered as roots.
+    pub fn root_ids(&self) -> Vec<ObjId> {
+        self.roots
+            .keys()
+            .map(|&slot_idx| ObjId { index: slot_idx, gen: self.slots[slot_idx as usize].gen })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig { gc_threshold_bytes: u64::MAX, ..HeapConfig::default() })
+    }
+
+    #[test]
+    fn alloc_and_read_fields() {
+        let mut h = heap();
+        let id = h.alloc(ClassId(3), vec![Value::Int(7), Value::from("x")]).unwrap();
+        assert_eq!(h.class_of(id), Some(ClassId(3)));
+        assert_eq!(h.field(id, 0), Some(&Value::Int(7)));
+        assert_eq!(h.field(id, 1).unwrap().as_str(), Some("x"));
+        assert_eq!(h.live_objects(), 1);
+    }
+
+    #[test]
+    fn set_field_updates_size_accounting() {
+        let mut h = heap();
+        let id = h.alloc(ClassId(0), vec![Value::Unit]).unwrap();
+        let before = h.live_bytes();
+        assert!(h.set_field(id, 0, Value::Bytes(vec![0; 100])));
+        assert_eq!(h.live_bytes(), before + 100);
+        assert!(!h.set_field(id, 5, Value::Unit), "out of range");
+    }
+
+    #[test]
+    fn unrooted_objects_are_reclaimed() {
+        let mut h = heap();
+        let id = h.alloc(ClassId(0), vec![]).unwrap();
+        let out = h.collect();
+        assert_eq!(out.reclaimed, 1);
+        assert!(!h.is_live(id));
+        assert_eq!(h.live_objects(), 0);
+        assert_eq!(h.live_bytes(), 0);
+    }
+
+    #[test]
+    fn rooted_objects_survive_and_handles_stay_valid() {
+        let mut h = heap();
+        let id = h.alloc(ClassId(9), vec![Value::Int(1)]).unwrap();
+        h.add_root(id);
+        for _ in 0..3 {
+            let out = h.collect();
+            assert_eq!(out.survivors, 1);
+        }
+        assert_eq!(h.field(id, 0), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let mut h = heap();
+        let leaf = h.alloc(ClassId(0), vec![Value::Int(42)]).unwrap();
+        let mid = h.alloc(ClassId(0), vec![Value::Ref(leaf)]).unwrap();
+        let root = h.alloc(ClassId(0), vec![Value::List(vec![Value::Ref(mid)])]).unwrap();
+        h.add_root(root);
+        let out = h.collect();
+        assert_eq!(out.survivors, 3);
+        assert!(h.is_live(leaf) && h.is_live(mid) && h.is_live(root));
+    }
+
+    #[test]
+    fn cycles_are_collected_when_unrooted() {
+        let mut h = heap();
+        let a = h.alloc(ClassId(0), vec![Value::Unit]).unwrap();
+        let b = h.alloc(ClassId(0), vec![Value::Ref(a)]).unwrap();
+        h.set_field(a, 0, Value::Ref(b));
+        let out = h.collect();
+        assert_eq!(out.reclaimed, 2);
+    }
+
+    #[test]
+    fn stale_handles_do_not_resurrect_slots() {
+        let mut h = heap();
+        let dead = h.alloc(ClassId(0), vec![]).unwrap();
+        h.collect();
+        // Slot is reused by a fresh allocation.
+        let fresh = h.alloc(ClassId(1), vec![]).unwrap();
+        assert_eq!(dead.index(), fresh.index(), "slot reused");
+        assert!(!h.is_live(dead));
+        assert!(h.is_live(fresh));
+        assert_eq!(h.class_of(dead), None);
+    }
+
+    #[test]
+    fn weak_refs_clear_exactly_on_death() {
+        let mut h = heap();
+        let id = h.alloc(ClassId(0), vec![]).unwrap();
+        h.add_root(id);
+        let w = h.new_weak(id);
+        h.collect();
+        assert_eq!(h.weak_get(w), Some(id), "weak survives while rooted");
+        h.remove_root(id);
+        let out = h.collect();
+        assert_eq!(out.weaks_cleared, 1);
+        assert_eq!(h.weak_get(w), None);
+    }
+
+    #[test]
+    fn weak_refs_do_not_keep_alive() {
+        let mut h = heap();
+        let id = h.alloc(ClassId(0), vec![]).unwrap();
+        let w = h.new_weak(id);
+        h.collect();
+        assert_eq!(h.weak_get(w), None);
+        assert!(!h.is_live(id));
+    }
+
+    #[test]
+    fn auto_gc_triggers_on_threshold() {
+        let mut h = Heap::new(HeapConfig { gc_threshold_bytes: 1024, ..HeapConfig::default() });
+        for _ in 0..200 {
+            h.alloc(ClassId(0), vec![Value::Bytes(vec![0; 64])]).unwrap();
+        }
+        assert!(h.stats().collections > 0, "automatic GC ran");
+        assert!(h.live_objects() < 200, "garbage was reclaimed");
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut h = Heap::new(HeapConfig { gc_threshold_bytes: u64::MAX, max_heap_bytes: 4096 });
+        let big = h.alloc(ClassId(0), vec![Value::Bytes(vec![0; 2048])]).unwrap();
+        h.add_root(big);
+        let err = h.alloc(ClassId(0), vec![Value::Bytes(vec![0; 4096])]).unwrap_err();
+        assert!(err.requested > 4096);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn oom_recovers_by_collecting_garbage() {
+        let mut h = Heap::new(HeapConfig { gc_threshold_bytes: u64::MAX, max_heap_bytes: 8192 });
+        for _ in 0..3 {
+            h.alloc(ClassId(0), vec![Value::Bytes(vec![0; 2000])]).unwrap();
+        }
+        // Garbage fills the heap; a forced GC must rescue this alloc.
+        let id = h.alloc(ClassId(0), vec![Value::Bytes(vec![0; 4000])]).unwrap();
+        assert!(h.is_live(id));
+    }
+
+    #[test]
+    fn observer_sees_alloc_copy_free() {
+        #[derive(Default)]
+        struct Counter {
+            alloc: AtomicU64,
+            copied: AtomicU64,
+            freed: AtomicU64,
+        }
+        impl HeapObserver for Counter {
+            fn on_alloc(&self, b: u64) {
+                self.alloc.fetch_add(b, Ordering::Relaxed);
+            }
+            fn on_gc_copy(&self, b: u64) {
+                self.copied.fetch_add(b, Ordering::Relaxed);
+            }
+            fn on_free(&self, b: u64) {
+                self.freed.fetch_add(b, Ordering::Relaxed);
+            }
+        }
+        let counter = Arc::new(Counter::default());
+        let mut h = heap();
+        h.set_observer(counter.clone());
+        let live = h.alloc(ClassId(0), vec![Value::Bytes(vec![0; 100])]).unwrap();
+        h.add_root(live);
+        h.alloc(ClassId(0), vec![Value::Bytes(vec![0; 50])]).unwrap();
+        h.collect();
+        assert!(counter.alloc.load(Ordering::Relaxed) >= 150);
+        assert!(counter.copied.load(Ordering::Relaxed) >= 100);
+        assert!(counter.freed.load(Ordering::Relaxed) >= 50);
+    }
+
+    #[test]
+    fn iter_yields_live_objects_with_valid_ids() {
+        let mut h = heap();
+        let a = h.alloc(ClassId(1), vec![Value::Int(1)]).unwrap();
+        let b = h.alloc(ClassId(2), vec![Value::Int(2)]).unwrap();
+        h.add_root(a);
+        h.add_root(b);
+        h.collect();
+        let ids: Vec<ObjId> = h.iter().map(|(id, _, _)| id).collect();
+        assert_eq!(ids.len(), 2);
+        for id in ids {
+            assert!(h.is_live(id));
+        }
+    }
+
+    #[test]
+    fn root_counting_is_balanced() {
+        let mut h = heap();
+        let id = h.alloc(ClassId(0), vec![]).unwrap();
+        h.add_root(id);
+        h.add_root(id);
+        h.remove_root(id);
+        h.collect();
+        assert!(h.is_live(id), "still one root held");
+        h.remove_root(id);
+        h.collect();
+        assert!(!h.is_live(id));
+    }
+}

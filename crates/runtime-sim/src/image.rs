@@ -1,0 +1,247 @@
+//! Image-heap snapshots: build-time initialisation carried to run time.
+//!
+//! GraalVM native-image executes initialisation code at *build* time and
+//! snapshots the resulting objects into the executable (the *image
+//! heap*), which is mapped into the application heap at startup so the
+//! program starts from the initialised state (§2.2). This module
+//! reproduces that mechanism: [`ImageHeap::snapshot`] captures a heap's
+//! live objects and roots, and [`ImageHeap::restore_into`] materialises
+//! them in a fresh heap, remapping object handles.
+
+use std::collections::HashMap;
+
+use crate::heap::{Heap, OutOfMemory};
+use crate::value::{ClassId, ObjId, Value};
+
+/// A serialisable snapshot of a heap's live object graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ImageHeap {
+    objects: Vec<(ObjId, ClassId, Vec<Value>)>,
+    roots: Vec<ObjId>,
+}
+
+impl ImageHeap {
+    /// Captures the live objects and roots of `heap`.
+    ///
+    /// Call after a final [`Heap::collect`] so the snapshot holds only
+    /// reachable state, as the native-image builder does.
+    pub fn snapshot(heap: &Heap) -> Self {
+        let objects =
+            heap.iter().map(|(id, class, fields)| (id, class, fields.to_vec())).collect();
+        ImageHeap { objects, roots: heap.root_ids() }
+    }
+
+    /// Number of snapshotted objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total snapshot payload in bytes (what the executable carries).
+    pub fn byte_len(&self) -> u64 {
+        self.objects
+            .iter()
+            .map(|(_, _, fields)| {
+                crate::heap::OBJECT_HEADER_BYTES
+                    + fields.iter().map(Value::shallow_size).sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Stable byte encoding, used to fold the image heap into the
+    /// enclave measurement.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (id, class, fields) in &self.objects {
+            out.extend_from_slice(&id.index().to_le_bytes());
+            out.extend_from_slice(&class.0.to_le_bytes());
+            for f in fields {
+                encode_value(f, &mut out);
+            }
+        }
+        for r in &self.roots {
+            out.extend_from_slice(&r.index().to_le_bytes());
+        }
+        out
+    }
+
+    /// Materialises the snapshot into `heap` ("memory-mapping the image
+    /// heap at startup"). Returns the old→new handle mapping; snapshot
+    /// roots are re-registered as roots in the target heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] if the target heap cannot hold the image.
+    pub fn restore_into(&self, heap: &mut Heap) -> Result<HashMap<ObjId, ObjId>, OutOfMemory> {
+        // First pass: allocate placeholders so cyclic references can be
+        // remapped. Each placeholder is rooted to survive any automatic
+        // GC triggered mid-restore.
+        let mut map: HashMap<ObjId, ObjId> = HashMap::with_capacity(self.objects.len());
+        for (old_id, class, fields) in &self.objects {
+            let placeholder = vec![Value::Unit; fields.len()];
+            let new_id = heap.alloc(*class, placeholder)?;
+            heap.add_root(new_id);
+            map.insert(*old_id, new_id);
+        }
+        // Second pass: fill fields with remapped references. Dangling
+        // references (dead at snapshot time) degrade to Unit.
+        for (old_id, _, fields) in &self.objects {
+            let new_id = map[old_id];
+            for (idx, field) in fields.iter().enumerate() {
+                let mut value = field.clone();
+                let mut ok = true;
+                value.map_refs(&mut |old| match map.get(&old) {
+                    Some(new) => *new,
+                    None => {
+                        ok = false;
+                        old
+                    }
+                });
+                if !ok {
+                    value = Value::Unit;
+                }
+                heap.set_field(new_id, idx, value);
+            }
+        }
+        // Keep snapshot roots rooted; release the temporary pins.
+        let root_set: std::collections::HashSet<ObjId> = self.roots.iter().copied().collect();
+        for (old_id, new_id) in &map {
+            if !root_set.contains(old_id) {
+                heap.remove_root(*new_id);
+            }
+        }
+        Ok(map)
+    }
+}
+
+fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Unit => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(5);
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        Value::List(vs) => {
+            out.push(6);
+            out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+            for v in vs {
+                encode_value(v, out);
+            }
+        }
+        Value::Ref(id) => {
+            out.push(7);
+            out.extend_from_slice(&id.index().to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapConfig;
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig { gc_threshold_bytes: u64::MAX, ..HeapConfig::default() })
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_graph() {
+        let mut build = heap();
+        let leaf = build.alloc(ClassId(1), vec![Value::from("config")]).unwrap();
+        let root = build.alloc(ClassId(2), vec![Value::Ref(leaf), Value::Int(9)]).unwrap();
+        build.add_root(root);
+        build.collect();
+        let image = ImageHeap::snapshot(&build);
+        assert_eq!(image.object_count(), 2);
+
+        let mut run = heap();
+        let map = image.restore_into(&mut run).unwrap();
+        let new_root = map[&root];
+        assert!(run.is_live(new_root));
+        let new_leaf_ref = run.field(new_root, 0).unwrap().as_ref_id().unwrap();
+        assert_eq!(new_leaf_ref, map[&leaf]);
+        assert_eq!(run.field(new_leaf_ref, 0).unwrap().as_str(), Some("config"));
+        // Roots were re-registered: a GC keeps the graph.
+        run.collect();
+        assert!(run.is_live(new_root));
+    }
+
+    #[test]
+    fn restore_handles_cycles() {
+        let mut build = heap();
+        let a = build.alloc(ClassId(0), vec![Value::Unit]).unwrap();
+        let b = build.alloc(ClassId(0), vec![Value::Ref(a)]).unwrap();
+        build.set_field(a, 0, Value::Ref(b));
+        build.add_root(a);
+        build.collect();
+        let image = ImageHeap::snapshot(&build);
+
+        let mut run = heap();
+        let map = image.restore_into(&mut run).unwrap();
+        let na = map[&a];
+        let nb = map[&b];
+        assert_eq!(run.field(na, 0).unwrap().as_ref_id(), Some(nb));
+        assert_eq!(run.field(nb, 0).unwrap().as_ref_id(), Some(na));
+        // Only the snapshot root stays pinned.
+        run.collect();
+        assert!(run.is_live(na) && run.is_live(nb));
+        run.remove_root(na);
+        run.collect();
+        assert!(!run.is_live(na) && !run.is_live(nb));
+    }
+
+    #[test]
+    fn unreferenced_objects_restore_unpinned() {
+        let mut build = heap();
+        let orphan_target = build.alloc(ClassId(0), vec![]).unwrap();
+        let root = build.alloc(ClassId(0), vec![Value::Ref(orphan_target)]).unwrap();
+        build.add_root(root);
+        build.collect();
+        let image = ImageHeap::snapshot(&build);
+
+        let mut run = heap();
+        let map = image.restore_into(&mut run).unwrap();
+        // Dropping the restored root releases the whole graph.
+        run.remove_root(map[&root]);
+        run.collect();
+        assert_eq!(run.live_objects(), 0);
+    }
+
+    #[test]
+    fn to_bytes_is_deterministic_and_content_sensitive() {
+        let mut build = heap();
+        let id = build.alloc(ClassId(1), vec![Value::Int(1)]).unwrap();
+        build.add_root(id);
+        let image = ImageHeap::snapshot(&build);
+        assert_eq!(image.to_bytes(), image.to_bytes());
+        build.set_field(id, 0, Value::Int(2));
+        let image2 = ImageHeap::snapshot(&build);
+        assert_ne!(image.to_bytes(), image2.to_bytes());
+    }
+
+    #[test]
+    fn byte_len_tracks_payload() {
+        let mut build = heap();
+        let id = build.alloc(ClassId(0), vec![Value::Bytes(vec![0; 1000])]).unwrap();
+        build.add_root(id);
+        let image = ImageHeap::snapshot(&build);
+        assert!(image.byte_len() >= 1000);
+    }
+}

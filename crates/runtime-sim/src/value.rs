@@ -1,0 +1,234 @@
+//! Runtime values and object references.
+//!
+//! The managed universe the partitioned application manipulates is built
+//! from [`Value`]s: Java-ish primitives, strings, byte arrays, lists and
+//! references to heap objects ([`ObjId`]). Heap references are *handles*
+//! (index + generation into a handle table), so the copying collector can
+//! move objects without invalidating references held by native code.
+
+use std::fmt;
+
+/// A generational handle to a heap object.
+///
+/// Handles stay valid across GC (objects are accessed through the handle
+/// table), and the generation field makes use-after-free detectable: a
+/// stale handle to a reclaimed slot no longer resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId {
+    /// Index into the owning heap's handle table.
+    pub(crate) index: u32,
+    /// Generation of the slot when this handle was issued.
+    pub(crate) gen: u32,
+}
+
+impl ObjId {
+    /// Raw slot index (stable while the object lives).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Slot generation this handle was issued for.
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}.{}", self.index, self.gen)
+    }
+}
+
+/// Identifier of a class in the application's class table.
+///
+/// `runtime-sim` treats classes opaquely; metadata (names, annotations,
+/// methods) lives in `montsalvat-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ClassId(pub u32);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// A managed runtime value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// Absence of a value (`void` / `null`).
+    #[default]
+    Unit,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer (covers Java `int`/`long`).
+    Int(i64),
+    /// 64-bit float (covers Java `float`/`double`).
+    Float(f64),
+    /// Immutable string.
+    Str(String),
+    /// Byte array.
+    Bytes(Vec<u8>),
+    /// Homogeneous-or-not list of values (covers `ArrayList`, arrays).
+    List(Vec<Value>),
+    /// Reference to a heap object.
+    Ref(ObjId),
+}
+
+impl Value {
+    /// Shallow size in bytes used for allocation/GC cost accounting
+    /// (slot word plus any out-of-line payload it owns).
+    pub fn shallow_size(&self) -> u64 {
+        match self {
+            Value::Unit | Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Ref(_) => 8,
+            Value::Str(s) => 8 + s.len() as u64,
+            Value::Bytes(b) => 8 + b.len() as u64,
+            Value::List(vs) => 8 + vs.iter().map(Value::shallow_size).sum::<u64>(),
+        }
+    }
+
+    /// The referenced object, if this is a `Ref`.
+    pub fn as_ref_id(&self) -> Option<ObjId> {
+        match self {
+            Value::Ref(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list payload, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// Visits every [`ObjId`] reachable through this value (without
+    /// following heap references).
+    pub fn for_each_ref(&self, f: &mut impl FnMut(ObjId)) {
+        match self {
+            Value::Ref(id) => f(*id),
+            Value::List(vs) => {
+                for v in vs {
+                    v.for_each_ref(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Rewrites every embedded [`ObjId`] through `f` (used by the
+    /// collector when forwarding references).
+    pub(crate) fn map_refs(&mut self, f: &mut impl FnMut(ObjId) -> ObjId) {
+        match self {
+            Value::Ref(id) => *id = f(*id),
+            Value::List(vs) => {
+                for v in vs {
+                    v.map_refs(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl From<ObjId> for Value {
+    fn from(v: ObjId) -> Self {
+        Value::Ref(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shallow_size_counts_payloads() {
+        assert_eq!(Value::Int(3).shallow_size(), 8);
+        assert_eq!(Value::Str("abcd".into()).shallow_size(), 12);
+        assert_eq!(Value::Bytes(vec![0; 100]).shallow_size(), 108);
+        assert_eq!(Value::List(vec![Value::Int(1), Value::Int(2)]).shallow_size(), 24);
+    }
+
+    #[test]
+    fn for_each_ref_descends_lists() {
+        let a = ObjId { index: 1, gen: 0 };
+        let b = ObjId { index: 2, gen: 0 };
+        let v = Value::List(vec![Value::Ref(a), Value::List(vec![Value::Ref(b)]), Value::Int(0)]);
+        let mut seen = Vec::new();
+        v.for_each_ref(&mut |id| seen.push(id));
+        assert_eq!(seen, vec![a, b]);
+    }
+
+    #[test]
+    fn conversions_are_lossless() {
+        assert_eq!(Value::from(42i64).as_int(), Some(42));
+        assert_eq!(Value::from(2.5f64).as_float(), Some(2.5));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn display_of_objid_is_informative() {
+        let id = ObjId { index: 7, gen: 3 };
+        assert_eq!(id.to_string(), "obj#7.3");
+    }
+}

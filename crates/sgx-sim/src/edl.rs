@@ -1,0 +1,207 @@
+//! Enclave definition language (EDL) model and renderer.
+//!
+//! The Intel SGX SDK describes an enclave's boundary in an `.edl` file;
+//! the `Edger8r` tool then generates marshalling "edge routines" from it
+//! (§2.1). Montsalvat's SGX code generator emits these EDL files for the
+//! relay methods it creates (§5.3). This module models the subset of EDL
+//! the paper needs and renders syntactically faithful `.edl` text, so the
+//! generated interface is an inspectable artefact of the build.
+
+use std::fmt;
+
+/// Direction of an edge routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// A trusted routine, entered via ecall.
+    Ecall,
+    /// An untrusted routine, reached via ocall.
+    Ocall,
+}
+
+/// C-level type of an EDL parameter or return value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EdlType {
+    /// `void`
+    Void,
+    /// `int`
+    Int,
+    /// `long` (64-bit in the generated code)
+    Long,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `[in, size=<len>] const char*` style buffer pointer.
+    Buffer {
+        /// Name of the sibling parameter carrying the buffer length.
+        size_param: String,
+    },
+    /// `size_t`
+    Size,
+}
+
+impl fmt::Display for EdlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdlType::Void => write!(f, "void"),
+            EdlType::Int => write!(f, "int"),
+            EdlType::Long => write!(f, "long"),
+            EdlType::Float => write!(f, "float"),
+            EdlType::Double => write!(f, "double"),
+            EdlType::Buffer { .. } => write!(f, "char*"),
+            EdlType::Size => write!(f, "size_t"),
+        }
+    }
+}
+
+/// One parameter of an edge routine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EdlParam {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: EdlType,
+}
+
+impl EdlParam {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: EdlType) -> Self {
+        EdlParam { name: name.into(), ty }
+    }
+
+    fn render(&self) -> String {
+        match &self.ty {
+            EdlType::Buffer { size_param } => {
+                format!("[in, size={}] const char* {}", size_param, self.name)
+            }
+            ty => format!("{ty} {}", self.name),
+        }
+    }
+}
+
+/// One edge routine (ecall or ocall).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EdlFn {
+    /// Routine name, e.g. `ecall_relayAddAccount`.
+    pub name: String,
+    /// Return type.
+    pub ret: EdlType,
+    /// Parameters in order.
+    pub params: Vec<EdlParam>,
+    /// Which side of the boundary the routine lives on.
+    pub direction: Direction,
+}
+
+impl EdlFn {
+    fn render(&self) -> String {
+        let qualifier = match self.direction {
+            Direction::Ecall => "public ",
+            Direction::Ocall => "",
+        };
+        let params =
+            self.params.iter().map(EdlParam::render).collect::<Vec<_>>().join(", ");
+        format!("        {qualifier}{} {}({params});", self.ret, self.name)
+    }
+}
+
+/// A full enclave interface specification.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EdlSpec {
+    /// Name used in the rendered header comment.
+    pub enclave_name: String,
+    /// Trusted routines (ecalls).
+    pub trusted: Vec<EdlFn>,
+    /// Untrusted routines (ocalls).
+    pub untrusted: Vec<EdlFn>,
+}
+
+impl EdlSpec {
+    /// Creates an empty spec for `enclave_name`.
+    pub fn new(enclave_name: impl Into<String>) -> Self {
+        EdlSpec { enclave_name: enclave_name.into(), ..EdlSpec::default() }
+    }
+
+    /// Adds a routine to the appropriate section.
+    pub fn push(&mut self, f: EdlFn) {
+        match f.direction {
+            Direction::Ecall => self.trusted.push(f),
+            Direction::Ocall => self.untrusted.push(f),
+        }
+    }
+
+    /// Whether `routine` is declared (in either direction).
+    pub fn contains(&self, routine: &str) -> bool {
+        self.trusted.iter().chain(&self.untrusted).any(|f| f.name == routine)
+    }
+
+    /// Renders `.edl` text in the Intel SDK's syntax.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("/* Generated EDL for enclave `{}` */\n", self.enclave_name));
+        out.push_str("enclave {\n    trusted {\n");
+        for f in &self.trusted {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str("    };\n    untrusted {\n");
+        for f in &self.untrusted {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str("    };\n};\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdlSpec {
+        let mut spec = EdlSpec::new("bank");
+        spec.push(EdlFn {
+            name: "ecall_relayAccount".into(),
+            ret: EdlType::Void,
+            params: vec![
+                EdlParam::new("hash", EdlType::Long),
+                EdlParam::new("buf", EdlType::Buffer { size_param: "len".into() }),
+                EdlParam::new("len", EdlType::Size),
+                EdlParam::new("b", EdlType::Int),
+            ],
+            direction: Direction::Ecall,
+        });
+        spec.push(EdlFn {
+            name: "ocall_relayPerson".into(),
+            ret: EdlType::Void,
+            params: vec![EdlParam::new("hash", EdlType::Long)],
+            direction: Direction::Ocall,
+        });
+        spec
+    }
+
+    #[test]
+    fn push_routes_by_direction() {
+        let spec = sample();
+        assert_eq!(spec.trusted.len(), 1);
+        assert_eq!(spec.untrusted.len(), 1);
+    }
+
+    #[test]
+    fn contains_finds_both_sections() {
+        let spec = sample();
+        assert!(spec.contains("ecall_relayAccount"));
+        assert!(spec.contains("ocall_relayPerson"));
+        assert!(!spec.contains("ecall_missing"));
+    }
+
+    #[test]
+    fn render_has_sdk_structure() {
+        let text = sample().render();
+        assert!(text.contains("enclave {"));
+        assert!(text.contains("trusted {"));
+        assert!(text.contains("untrusted {"));
+        assert!(text.contains("public void ecall_relayAccount"));
+        assert!(text.contains("[in, size=len] const char* buf"));
+        assert!(!text.contains("public void ocall_relayPerson"), "ocalls are not public");
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for the SGX simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated SGX substrate.
+///
+/// The variants mirror the failure classes of the real Intel SGX SDK:
+/// enclave creation can fail (bad configuration, EPC pressure), an enclave
+/// can be lost at runtime (power transition, microcode TCB recovery), and
+/// edge routines can be invoked against a mismatched interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgxError {
+    /// Enclave creation was rejected.
+    CreateFailed {
+        /// Human-readable reason, e.g. `"heap_max exceeds platform limit"`.
+        reason: String,
+    },
+    /// The enclave has been destroyed (or lost) and can no longer serve
+    /// transitions.
+    EnclaveLost,
+    /// An ecall/ocall referenced an edge routine that is not part of the
+    /// enclave's EDL interface.
+    InterfaceMismatch {
+        /// Name of the routine that failed to resolve.
+        routine: String,
+    },
+    /// The caller attempted an enclave-side allocation that exceeds the
+    /// configured enclave heap maximum.
+    OutOfEnclaveMemory {
+        /// Bytes requested at the point of failure.
+        requested: u64,
+        /// Configured maximum enclave heap in bytes.
+        heap_max: u64,
+    },
+    /// A relayed host (shim) operation failed on the untrusted side.
+    HostIo {
+        /// Stringified `std::io::Error` (kept as text so the error stays
+        /// `Clone + Eq` for test assertions).
+        message: String,
+    },
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::CreateFailed { reason } => {
+                write!(f, "enclave creation failed: {reason}")
+            }
+            SgxError::EnclaveLost => write!(f, "enclave lost or destroyed"),
+            SgxError::InterfaceMismatch { routine } => {
+                write!(f, "edge routine not in enclave interface: {routine}")
+            }
+            SgxError::OutOfEnclaveMemory { requested, heap_max } => write!(
+                f,
+                "enclave heap exhausted: requested {requested} bytes with heap_max {heap_max}"
+            ),
+            SgxError::HostIo { message } => write!(f, "relayed host i/o failed: {message}"),
+        }
+    }
+}
+
+impl Error for SgxError {}
+
+impl From<std::io::Error> for SgxError {
+    fn from(err: std::io::Error) -> Self {
+        SgxError::HostIo { message: err.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SgxError::EnclaveLost;
+        let s = e.to_string();
+        assert!(s.starts_with("enclave lost"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SgxError>();
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: SgxError = io.into();
+        assert!(matches!(e, SgxError::HostIo { .. }));
+        assert!(e.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,268 @@
+//! `montsalvat` — command-line partitioning tool.
+//!
+//! Takes an annotated class description, runs the full static pipeline
+//! (transformation → reachability analysis → image building → SGX
+//! code generation) and reports the partition: which classes land in
+//! which image, the generated relays/proxies, and the EDL interface.
+//!
+//! ```sh
+//! montsalvat partition app.mont            # report to stdout
+//! montsalvat partition app.mont -o outdir  # also write EDL + bridge C
+//! montsalvat example                       # print a sample description
+//! ```
+//!
+//! The description format (one construct per line):
+//!
+//! ```text
+//! @Trusted class Account
+//!   field owner
+//!   field balance
+//!   ctor 2
+//!   method updateBalance 1
+//!   method balance 0
+//!
+//! @Untrusted class Person
+//!   field name
+//!   method getAccount 0 calls Account.balance
+//!
+//! main Person.getAccount
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use montsalvat::core::analysis::Reachability;
+use montsalvat::core::annotation::Trust;
+use montsalvat::core::class::{
+    ClassDef, ClassRole, Instr, MethodDef, MethodKind, MethodRef, Program, CTOR,
+};
+use montsalvat::core::codegen;
+use montsalvat::core::image_builder::{build_partitioned_images, ImageOptions};
+use montsalvat::core::transform::transform;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("example") => {
+            print!("{}", EXAMPLE);
+            ExitCode::SUCCESS
+        }
+        Some("partition") => {
+            let Some(input) = args.get(1) else {
+                eprintln!("usage: montsalvat partition <file> [-o <outdir>]");
+                return ExitCode::FAILURE;
+            };
+            let outdir = args
+                .iter()
+                .position(|a| a == "-o")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from);
+            match run_partition(input, outdir.as_deref()) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("montsalvat — annotation-based partitioning for (simulated) SGX enclaves");
+            eprintln!();
+            eprintln!("commands:");
+            eprintln!("  partition <file> [-o <outdir>]  partition a class description");
+            eprintln!("  example                         print a sample description");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const EXAMPLE: &str = "\
+# The paper's Listing-1 bank application.
+@Trusted class Account
+  field owner
+  field balance
+  ctor 2
+  method updateBalance 1
+  method balance 0
+
+@Trusted class AccountRegistry
+  field reg
+  ctor 0
+  method addAccount 1 calls Account.balance
+
+@Untrusted class Person
+  field name
+  field account
+  ctor 2 calls Account.<init>
+  method getAccount 0
+  method transfer 2 calls Person.getAccount calls Account.updateBalance
+
+@Untrusted class Main
+  static main 0 calls Person.<init> calls Person.transfer calls AccountRegistry.<init> calls AccountRegistry.addAccount
+
+main Main.main
+";
+
+fn run_partition(input: &str, outdir: Option<&std::path::Path>) -> Result<(), String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let program = parse_program(&text)?;
+    let tp = transform(&program);
+    let (trusted, untrusted) =
+        build_partitioned_images(&tp, &ImageOptions::default(), &ImageOptions::default())
+            .map_err(|e| e.to_string())?;
+
+    println!("== partition report for {input} ==\n");
+    print_image("trusted.o (enclave)", &trusted.classes, &trusted.reachability);
+    print_image("untrusted.o (host)", &untrusted.classes, &untrusted.reachability);
+
+    let artefacts = codegen::generate(&tp);
+    println!("\n== generated EDL ==\n{}", artefacts.edl);
+
+    if let Some(dir) = outdir {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("montsalvat_enclave.edl"), &artefacts.edl)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("untrusted_bridges.c"), &artefacts.untrusted_bridge_c)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(dir.join("trusted_bridges.c"), &artefacts.trusted_bridge_c)
+            .map_err(|e| e.to_string())?;
+        println!("artefacts written to {}", dir.display());
+    }
+    Ok(())
+}
+
+fn print_image(name: &str, classes: &[ClassDef], reach: &Reachability) {
+    println!("{name}: {} classes, {} reachable methods", classes.len(), reach.methods.len());
+    for class in classes {
+        let role = match class.role {
+            ClassRole::Concrete => class.trust.annotation_name().to_owned(),
+            ClassRole::Proxy => format!("proxy for {}", class.trust.annotation_name()),
+        };
+        let relays =
+            class.methods.iter().filter(|m| m.name.starts_with("relay$")).count();
+        println!(
+            "  {:<20} [{role}] {} methods{}",
+            class.name,
+            class.methods.len(),
+            if relays > 0 { format!(" ({relays} relays)") } else { String::new() }
+        );
+    }
+}
+
+/// Parses the `.mont` description format.
+fn parse_program(text: &str) -> Result<Program, String> {
+    let mut classes: Vec<ClassDef> = Vec::new();
+    let mut main: Option<MethodRef> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: &str| format!("line {}: {m}", lineno + 1);
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            [annot, "class", name] => {
+                let trust = match *annot {
+                    "@Trusted" => Trust::Trusted,
+                    "@Untrusted" => Trust::Untrusted,
+                    "@Neutral" => Trust::Neutral,
+                    other => return Err(err(&format!("unknown annotation `{other}`"))),
+                };
+                classes.push(ClassDef::new(*name).trust(trust));
+            }
+            ["class", name] => classes.push(ClassDef::new(*name)),
+            ["field", name] => {
+                let class = classes.last_mut().ok_or_else(|| err("field before class"))?;
+                *class = std::mem::replace(class, ClassDef::new("")).field(*name);
+            }
+            ["main", target] => {
+                let (c, m) = target
+                    .split_once('.')
+                    .ok_or_else(|| err("main must be Class.method"))?;
+                main = Some(MethodRef::new(c, m));
+            }
+            [kind @ ("method" | "ctor" | "static"), rest @ ..] if !rest.is_empty() => {
+                let class = classes.last_mut().ok_or_else(|| err("method before class"))?;
+                let (name, rest) = match *kind {
+                    "ctor" => (CTOR, rest),
+                    _ => (rest[0], &rest[1..]),
+                };
+                if rest.is_empty() {
+                    return Err(err("missing parameter count"));
+                }
+                let params: usize =
+                    rest[0].parse().map_err(|_| err("parameter count must be a number"))?;
+                let mut calls = Vec::new();
+                let mut i = 1;
+                while i < rest.len() {
+                    if rest[i] != "calls" || i + 1 >= rest.len() {
+                        return Err(err("expected `calls Class.method`"));
+                    }
+                    let (c, m) = rest[i + 1]
+                        .split_once('.')
+                        .ok_or_else(|| err("call target must be Class.method"))?;
+                    calls.push(MethodRef::new(c, m));
+                    i += 2;
+                }
+                let method_kind = match *kind {
+                    "ctor" => MethodKind::Constructor,
+                    "static" => MethodKind::Static,
+                    _ => MethodKind::Instance,
+                };
+                let mut def = MethodDef::interpreted(
+                    name,
+                    method_kind,
+                    params,
+                    params,
+                    vec![Instr::Return { value: None }],
+                );
+                def.declared_calls = calls;
+                *class = std::mem::replace(class, ClassDef::new("")).method(def);
+            }
+            _ => return Err(err(&format!("cannot parse `{line}`"))),
+        }
+    }
+    let main = main.ok_or("missing `main Class.method` line")?;
+    Program::new(classes, main).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_parses_and_partitions() {
+        let program = parse_program(EXAMPLE).unwrap();
+        assert_eq!(program.classes.len(), 4);
+        let tp = transform(&program);
+        let (trusted, untrusted) =
+            build_partitioned_images(&tp, &ImageOptions::default(), &ImageOptions::default())
+                .unwrap();
+        assert!(trusted.class("Account").is_some());
+        assert!(untrusted.class("Main").is_some());
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let err = parse_program("field x\nmain A.b").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = parse_program("@Wat class A\nmain A.b").unwrap_err();
+        assert!(err.contains("unknown annotation"));
+        let err = parse_program("class A\n  method m notanumber\nmain A.m").unwrap_err();
+        assert!(err.contains("number"));
+    }
+
+    #[test]
+    fn missing_main_is_reported() {
+        let err = parse_program("class A\n  static m 0\n").unwrap_err();
+        assert!(err.contains("missing `main"));
+    }
+
+    #[test]
+    fn dangling_calls_are_caught_by_validation() {
+        let err =
+            parse_program("class A\n  static m 0 calls Ghost.x\nmain A.m").unwrap_err();
+        assert!(err.contains("Ghost"), "{err}");
+    }
+}
