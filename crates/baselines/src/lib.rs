@@ -41,7 +41,7 @@ pub struct JvmModel {
     pub compute_factor: f64,
     /// Multiplier on GC copy traffic relative to the native image's
     /// serial stop-and-copy collector (< 1: the generational JVM
-    /// collector moves less memory on allocation-heavy loads [28]).
+    /// collector moves less memory on allocation-heavy loads \[28\]).
     pub gc_copy_factor: f64,
     /// The JVM runtime's own heap footprint, committed at startup (in
     /// an enclave this consumes scarce EPC).

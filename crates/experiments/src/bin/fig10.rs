@@ -15,4 +15,5 @@ fn main() {
         mean_ratio(&series[3], &series[2]),
         mean_ratio(&series[3], &series[0]),
     );
+    experiments::report::maybe_export_telemetry();
 }

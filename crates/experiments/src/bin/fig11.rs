@@ -32,4 +32,5 @@ fn main() {
         mean(&scone.1) / mean(&part.1),
         mean(&scone.1) / mean(&nopart.1),
     );
+    experiments::report::maybe_export_telemetry();
 }

@@ -23,4 +23,5 @@ fn main() {
         }
         println!();
     }
+    experiments::report::maybe_export_telemetry();
 }

@@ -12,4 +12,5 @@ fn main() {
     let ratio_in = experiments::report::mean_ratio(&series[1], &series[3]);
     println!("\nproxy-out→in / concrete-out: {ratio_out:.0}x (paper: ~4 orders of magnitude)");
     println!("proxy-in→out / concrete-in: {ratio_in:.0}x (paper: ~3 orders of magnitude)");
+    experiments::report::maybe_export_telemetry();
 }

@@ -21,4 +21,5 @@ fn main() {
         mean_ratio(&b[1], &b[3]),
         mean_ratio(&b[0], &b[2]),
     );
+    experiments::report::maybe_export_telemetry();
 }

@@ -22,4 +22,5 @@ fn main() {
         .max()
         .unwrap_or(0);
     println!("\nmax |proxies - mirrors| across timeline: {max_gap} (consistency: tracks closely)");
+    experiments::report::maybe_export_telemetry();
 }

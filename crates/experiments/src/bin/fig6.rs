@@ -13,4 +13,5 @@ fn main() {
         let last = s.points.last().map(|p| p.1).unwrap_or(0.0);
         println!("{}: 0% untrusted {:.3}s -> 100% untrusted {:.3}s", s.label, first, last);
     }
+    experiments::report::maybe_export_telemetry();
 }

@@ -23,4 +23,5 @@ fn main() {
         ruwt.ocalls,
         ruwt.ocalls as f64 / rtwu.ocalls.max(1) as f64,
     );
+    experiments::report::maybe_export_telemetry();
 }

@@ -20,4 +20,5 @@ fn main() {
             );
         }
     }
+    experiments::report::maybe_export_telemetry();
 }

@@ -16,4 +16,5 @@ fn main() {
         &["benchmark", "gain"],
         &rows,
     );
+    experiments::report::maybe_export_telemetry();
 }

@@ -184,9 +184,13 @@ pub fn shard_counts(scale: Scale) -> Vec<i64> {
     }
 }
 
+/// One Figure-9 row: a `(vertices, edges)` graph size with the runs
+/// performed on it, one per `(configuration, result)` pair.
+pub type Fig9Row = ((i64, i64), Vec<(GraphConfig, GraphRun)>);
+
 /// Runs Figure 9: per graph size and shard count, the three
 /// configurations with phase breakdowns.
-pub fn fig9(scale: Scale) -> Vec<((i64, i64), Vec<(GraphConfig, GraphRun)>)> {
+pub fn fig9(scale: Scale) -> Vec<Fig9Row> {
     let configs = [GraphConfig::NoSgxNi, GraphConfig::NoPartNi, GraphConfig::PartNi];
     let mut out = Vec::new();
     for (v, e) in fig9_graphs(scale) {

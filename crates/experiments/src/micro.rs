@@ -137,7 +137,7 @@ pub fn fig4b(scale: Scale) -> Vec<Series> {
                 let obj = ctx.new_object(class, &[Value::Int(0)])?;
                 let start = ctx.cost_charged();
                 for _ in 0..invocations {
-                    ctx.call(&obj, "set", &[payload.clone()])?;
+                    ctx.call(&obj, "set", std::slice::from_ref(&payload))?;
                 }
                 Ok(ctx.cost_charged() - start)
             };

@@ -124,6 +124,56 @@ impl Scale {
     }
 }
 
+/// Parses `--telemetry-out <path>` (or `--telemetry-out=<path>`) from
+/// the CLI arguments.
+pub fn telemetry_out_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--telemetry-out" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--telemetry-out=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Exports the process-wide aggregated telemetry to `path` as versioned
+/// JSON ([`telemetry::SCHEMA`]) and prints a one-line summary sourced
+/// from the same snapshot, so the file and the printed report can never
+/// disagree.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing `path`.
+pub fn export_telemetry(path: &std::path::Path) -> std::io::Result<()> {
+    use telemetry::Counter;
+    let snap = telemetry::aggregate();
+    std::fs::write(path, snap.to_json())?;
+    println!(
+        "telemetry ({schema}): {p} — ecalls {e}, ocalls {o}, gc collections {g}, rmi calls {r}",
+        schema = telemetry::SCHEMA,
+        p = path.display(),
+        e = snap.counter(Counter::Ecalls),
+        o = snap.counter(Counter::Ocalls),
+        g = snap.counter(Counter::GcCollections),
+        r = snap.counter(Counter::RmiCalls),
+    );
+    Ok(())
+}
+
+/// Exports telemetry if `--telemetry-out` was passed; every figure/table
+/// binary calls this as its last step. Export failures are reported on
+/// stderr but do not fail the experiment.
+pub fn maybe_export_telemetry() {
+    if let Some(path) = telemetry_out_from_args() {
+        if let Err(e) = export_telemetry(&path) {
+            eprintln!("telemetry: failed to write {}: {e}", path.display());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -106,7 +106,7 @@ mod tests {
         let tp = transform(&bank_program());
         let mut untrusted_classes = tp.untrusted_set.clone();
         untrusted_classes.extend(tp.neutral_set.clone());
-        let reach = analyze(&untrusted_classes, &[tp.main.clone()]);
+        let reach = analyze(&untrusted_classes, std::slice::from_ref(&tp.main));
         // Fig. 2: main reaches Person methods and proxies for Account
         // and AccountRegistry.
         assert!(reach.contains_method("Person", "<init>"));
@@ -152,7 +152,7 @@ mod tests {
         let tp = transform(&bank_program());
         let mut classes = tp.untrusted_set.clone();
         classes.extend(tp.neutral_set.clone());
-        let small = analyze(&classes, &[tp.main.clone()]);
+        let small = analyze(&classes, std::slice::from_ref(&tp.main));
         let mut entries = vec![tp.main.clone()];
         entries.push(MethodRef::new("StringUtil", "greet"));
         let large = analyze(&classes, &entries);
@@ -165,9 +165,9 @@ mod tests {
         let tp = transform(&bank_program());
         let mut classes = tp.untrusted_set.clone();
         classes.extend(tp.neutral_set.clone());
-        let first = analyze(&classes, &[tp.main.clone()]);
+        let first = analyze(&classes, std::slice::from_ref(&tp.main));
         // Re-running from the same entries gives the same fixed point.
-        let second = analyze(&classes, &[tp.main.clone()]);
+        let second = analyze(&classes, std::slice::from_ref(&tp.main));
         assert_eq!(first, second);
         // Using every reached method as an entry changes nothing.
         let entries: Vec<MethodRef> = first.methods.iter().cloned().collect();

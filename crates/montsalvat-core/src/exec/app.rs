@@ -59,6 +59,11 @@ pub struct AppConfig {
     /// (the paper's §7 future-work item). `None` uses classic
     /// ecall/ocall crossings.
     pub switchless: Option<crate::exec::switchless::SwitchlessConfig>,
+    /// Telemetry recorder every layer of this application reports into.
+    /// `None` creates a fresh recorder (the normal case); inject one to
+    /// isolate a run's metrics from other applications in the process,
+    /// or to share one recorder across several runs.
+    pub telemetry: Option<Arc<telemetry::Recorder>>,
 }
 
 impl Default for AppConfig {
@@ -73,8 +78,22 @@ impl Default for AppConfig {
             exec_model: ExecModel::native_image(),
             workdir: None,
             switchless: None,
+            telemetry: None,
         }
     }
+}
+
+/// Builds the application's cost model, injecting the configured
+/// recorder if one was provided.
+fn cost_model(config: &AppConfig) -> Arc<CostModel> {
+    Arc::new(match &config.telemetry {
+        Some(rec) => CostModel::with_recorder(
+            config.cost_params.clone(),
+            config.clock_mode,
+            Arc::clone(rec),
+        ),
+        None => CostModel::new(config.cost_params.clone(), config.clock_mode),
+    })
 }
 
 /// State shared by both runtimes of a running application.
@@ -222,7 +241,7 @@ impl PartitionedApp {
                 "launch requires a (trusted, untrusted) image pair".into(),
             ));
         }
-        let cost = Arc::new(CostModel::new(config.cost_params.clone(), config.clock_mode));
+        let cost = cost_model(&config);
         let enclave = Enclave::create(
             &config.enclave_config,
             &trusted_image.measurement_bytes(),
@@ -262,6 +281,8 @@ impl PartitionedApp {
             workdir.join("untrusted.scratch"),
             None,
         );
+        trusted.attach_recorder(Arc::clone(cost.recorder()));
+        untrusted.attach_recorder(Arc::clone(cost.recorder()));
         restore_image_heap(trusted_image, &trusted)?;
         restore_image_heap(untrusted_image, &untrusted)?;
 
@@ -292,9 +313,10 @@ impl PartitionedApp {
         if let Some(interval) = config.gc_helper_interval {
             for side in [Side::Trusted, Side::Untrusted] {
                 let shared_ref = Arc::clone(&shared);
-                helpers.push(GcHelper::spawn(
+                helpers.push(GcHelper::spawn_recorded(
                     format!("{side}-gc-helper"),
                     interval,
+                    Arc::clone(shared.cost.recorder()),
                     move || {
                         // A lost enclave just idles the helper; shutdown
                         // stops it for real.
@@ -359,8 +381,25 @@ impl PartitionedApp {
     }
 
     /// Enclave transition counters.
+    ///
+    /// This is a compatibility facade: the returned counters are read
+    /// from the application's telemetry recorder (see
+    /// [`PartitionedApp::telemetry_snapshot`]), so the two views agree
+    /// by construction.
     pub fn sgx_stats(&self) -> TransitionStats {
         self.enclave.stats()
+    }
+
+    /// Freezes every telemetry metric of this application (both worlds,
+    /// the enclave and the RMI layer report into one recorder).
+    pub fn telemetry_snapshot(&self) -> telemetry::Snapshot {
+        self.shared.cost.recorder().snapshot()
+    }
+
+    /// The telemetry recorder every layer of this application reports
+    /// into.
+    pub fn telemetry(&self) -> &Arc<telemetry::Recorder> {
+        self.shared.cost.recorder()
     }
 
     /// RMI counters for one world.
@@ -447,7 +486,7 @@ impl SingleWorldApp {
         if image.side.is_some() {
             return Err(VmError::Type("SingleWorldApp requires an unpartitioned image".into()));
         }
-        let cost = Arc::new(CostModel::new(config.cost_params.clone(), config.clock_mode));
+        let cost = cost_model(&config);
         let enclave =
             Enclave::create(&config.enclave_config, &image.measurement_bytes(), Arc::clone(&cost))?;
         let in_enclave = placement == Placement::Enclave;
@@ -477,6 +516,7 @@ impl SingleWorldApp {
             workdir.join("app.scratch"),
             in_enclave.then_some(&enclave),
         );
+        world.attach_recorder(Arc::clone(cost.recorder()));
         restore_image_heap(image, &world)?;
 
         let shared = Arc::new(AppShared {
@@ -526,9 +566,21 @@ impl SingleWorldApp {
         }
     }
 
-    /// Enclave transition counters.
+    /// Enclave transition counters (a view over the telemetry recorder,
+    /// like [`PartitionedApp::sgx_stats`]).
     pub fn sgx_stats(&self) -> TransitionStats {
         self.enclave.stats()
+    }
+
+    /// Freezes every telemetry metric of this application.
+    pub fn telemetry_snapshot(&self) -> telemetry::Snapshot {
+        self.shared.cost.recorder().snapshot()
+    }
+
+    /// The telemetry recorder every layer of this application reports
+    /// into.
+    pub fn telemetry(&self) -> &Arc<telemetry::Recorder> {
+        self.shared.cost.recorder()
     }
 
     /// Destroys the enclave and cleans the scratch directory.

@@ -1,8 +1,8 @@
 //! The execution context and cross-world dispatch (§5.2–§5.5 at run time).
 //!
-//! All method execution funnels through [`exec_method`]:
+//! All method execution funnels through `exec_method`:
 //!
-//! - interpreted bodies run in [`crate::exec::interp`];
+//! - interpreted bodies run in `exec::interp`;
 //! - native bodies receive a [`Ctx`] handle;
 //! - **proxy bodies** marshal their arguments and perform an
 //!   ecall/ocall to the corresponding relay in the opposite world;
@@ -536,6 +536,7 @@ fn marshal(app: &AppShared, world: &World, values: &[Value]) -> Result<WireMsg, 
     // Serialization walks the object graph; inside the enclave every
     // read goes through the MEE, hence the enclave factor on encode.
     charge_serde(app, world, payload.len(), true);
+    app.cost.recorder().add(telemetry::Counter::CodecBytesOut, payload.len() as u64);
     Ok(WireMsg { recv_hash: None, hints, payload })
 }
 
@@ -612,6 +613,7 @@ fn unmarshal(
     // Decoding streams a linear buffer; enclave writes are charged by
     // the heap observer, so no extra factor here.
     charge_serde(app, world, msg.payload.len(), false);
+    app.cost.recorder().add(telemetry::Counter::CodecBytesIn, msg.payload.len() as u64);
     pins.extend(decoded.allocated.iter().copied());
     match decoded.value {
         Value::List(vs) => Ok((vs, pins)),
@@ -795,6 +797,7 @@ fn cross_call(
     args: &[Value],
 ) -> Result<Value, VmError> {
     let callee = Arc::clone(app.world(caller.side.opposite()));
+    let charged_at_entry = app.cost.charged();
     let mut msg = marshal(app, caller, args)?;
     msg.recv_hash = recv_hash;
     caller.stats.count_rmi(msg.payload.len() as u64);
@@ -813,6 +816,7 @@ fn cross_call(
     // Switchless mode (§7 future work): post to the opposite side's
     // resident worker instead of performing a hardware transition.
     let pool = app.switchless.lock().clone();
+    let switchless_used = pool.is_some();
     let ret_msg = if let Some(pool) = pool {
         let params = app.cost.params();
         // Hand-off + the boundary copy; no transition, no relay stack.
@@ -839,6 +843,16 @@ fn cross_call(
     let ret = rets.pop().unwrap_or(Value::Unit);
     promote(caller, &ret);
     release_pins(caller, &pins);
+    // Record the modelled latency of the whole crossing (marshal,
+    // transition or worker hand-off, relay work, unmarshal) as a
+    // charged-time delta, split by crossing flavour.
+    let span_ns = app.cost.charged().saturating_sub(charged_at_entry).as_nanos() as u64;
+    let hist = if switchless_used {
+        telemetry::Hist::SwitchlessCallNs
+    } else {
+        telemetry::Hist::RmiCallNs
+    };
+    app.cost.recorder().record(hist, span_ns);
     Ok(ret)
 }
 
@@ -850,6 +864,7 @@ pub(crate) fn serve_relay(
     relay: &str,
     msg: &WireMsg,
 ) -> Result<WireMsg, VmError> {
+    app.cost.recorder().incr(telemetry::Counter::RelayDispatches);
     let info = callee.class_by_name(class_name)?.clone();
     let relay_def = info
         .def

@@ -2,7 +2,7 @@
 //!
 //! - [`world`] — per-runtime state (isolate, class index, RMI tables);
 //! - [`ctx`] — the execution context, marshalling and relay dispatch;
-//! - [`interp`] — the instruction interpreter;
+//! - `interp` — the instruction interpreter (crate-private);
 //! - [`app`] — application launch, GC helpers, and the unpartitioned
 //!   runner.
 

@@ -38,6 +38,14 @@ impl Default for SwitchlessConfig {
     }
 }
 
+/// The relay dispatcher a pool serves jobs with: bound to the
+/// application, it executes `class.relay` on the given side.
+pub(crate) type ServeFn = Arc<
+    dyn Fn(Side, &str, &str, Option<ProxyHash>, &WireMsg) -> Result<WireMsg, VmError>
+        + Send
+        + Sync,
+>;
+
 /// One posted request: serve `class.relay` with `msg` in the worker's
 /// world, reply on `reply`.
 pub(crate) struct SwitchlessJob {
@@ -65,14 +73,7 @@ impl std::fmt::Debug for SwitchlessPool {
 impl SwitchlessPool {
     /// Spawns the worker pools. `serve` is the relay dispatcher bound to
     /// the application (it captures `AppShared`).
-    pub(crate) fn spawn(
-        config: &SwitchlessConfig,
-        serve: Arc<
-            dyn Fn(Side, &str, &str, Option<ProxyHash>, &WireMsg) -> Result<WireMsg, VmError>
-                + Send
-                + Sync,
-        >,
-    ) -> Self {
+    pub(crate) fn spawn(config: &SwitchlessConfig, serve: ServeFn) -> Self {
         let (trusted_tx, trusted_rx) = unbounded::<SwitchlessJob>();
         let (untrusted_tx, untrusted_rx) = unbounded::<SwitchlessJob>();
         let mut workers = Vec::new();

@@ -133,6 +133,11 @@ impl ExecModel {
 }
 
 /// Counters for one world's RMI activity.
+///
+/// The per-world atomics remain the authoritative source for
+/// [`WorldStatsSnapshot`]; when a telemetry recorder is attached (see
+/// [`World::attach_recorder`]) every count is mirrored into it so the
+/// exported JSON agrees with these counters by construction.
 #[derive(Debug, Default)]
 pub struct WorldStats {
     rmi_calls: AtomicU64,
@@ -140,6 +145,7 @@ pub struct WorldStats {
     bytes_serialized: AtomicU64,
     proxies_created: AtomicU64,
     mirrors_created: AtomicU64,
+    recorder: std::sync::OnceLock<Arc<telemetry::Recorder>>,
 }
 
 /// Snapshot of [`WorldStats`].
@@ -161,18 +167,31 @@ impl WorldStats {
     pub(crate) fn count_rmi(&self, bytes: u64) {
         self.rmi_calls.fetch_add(1, Ordering::Relaxed);
         self.bytes_serialized.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.get() {
+            rec.incr(telemetry::Counter::RmiCalls);
+            rec.add(telemetry::Counter::BytesSerialized, bytes);
+        }
     }
 
     pub(crate) fn count_switchless(&self) {
         self.switchless_calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.get() {
+            rec.incr(telemetry::Counter::SwitchlessCalls);
+        }
     }
 
     pub(crate) fn count_proxy(&self) {
         self.proxies_created.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.get() {
+            rec.incr(telemetry::Counter::ProxiesCreated);
+        }
     }
 
     pub(crate) fn count_mirror(&self) {
         self.mirrors_created.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = self.recorder.get() {
+            rec.incr(telemetry::Counter::MirrorsCreated);
+        }
     }
 
     /// Reads the counters.
@@ -285,6 +304,7 @@ pub struct World {
 
 impl World {
     /// Creates a world over a fresh isolate.
+    #[allow(clippy::too_many_arguments)] // internal constructor; every field is required
     pub fn new(
         side: Side,
         in_enclave: bool,
@@ -314,6 +334,19 @@ impl World {
             scratch_path,
             io: Mutex::new(WorldIo::default()),
         })
+    }
+
+    /// Attaches a telemetry recorder to every instrumented surface this
+    /// world owns: its RMI counters, its heap (allocation/GC metrics),
+    /// its mirror-proxy registry and its proxy weak list. Called once at
+    /// application launch; attaching twice is a no-op for the stats
+    /// mirror and replaces the heap/RMI recorders.
+    pub fn attach_recorder(&self, recorder: Arc<telemetry::Recorder>) {
+        let _ = self.stats.recorder.set(Arc::clone(&recorder));
+        self.isolate.with_heap(|h| h.set_recorder(Arc::clone(&recorder)));
+        let mut rmi = self.rmi.lock();
+        rmi.registry.set_recorder(Arc::clone(&recorder));
+        rmi.weaklist.set_recorder(recorder);
     }
 
     /// Reads a class by name, as a runtime error if missing.

@@ -11,7 +11,7 @@
 //!
 //! 1. **Annotation** ([`annotation`]) — classes are `@Trusted`,
 //!    `@Untrusted` or neutral.
-//! 2. **Bytecode transformation** ([`transform`]) — proxies and relay
+//! 2. **Bytecode transformation** ([`mod@transform`]) — proxies and relay
 //!    methods are generated; the EDL interface is emitted ([`codegen`]).
 //! 3. **Native-image partitioning** ([`analysis`], [`image_builder`]) —
 //!    reachability analysis from each image's entry points prunes

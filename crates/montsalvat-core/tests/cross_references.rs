@@ -104,7 +104,7 @@ fn annotated_ref_roundtrip_preserves_proxy_identity() {
         .enter_untrusted(|ctx| {
             let a = ctx.new_object("TBox", &[])?;
             let b = ctx.new_object("TBox", &[])?;
-            ctx.call(&b, "set", &[a.clone()])?;
+            ctx.call(&b, "set", std::slice::from_ref(&a))?;
             let back = ctx.call(&b, "get", &[])?;
             Ok((a, back))
         })
@@ -216,7 +216,7 @@ fn gc_sync_handles_mixed_live_and_dead_nested_proxies() {
         let keeper = ctx.new_object("TBox", &[])?;
         {
             let shortlived = ctx.new_object("TBox", &[])?;
-            ctx.call(&keeper, "set", &[shortlived.clone()])?;
+            ctx.call(&keeper, "set", std::slice::from_ref(&shortlived))?;
             // Drop our frame root; the mirror graph inside the enclave
             // still references the nested mirror.
             ctx.forget(&shortlived);

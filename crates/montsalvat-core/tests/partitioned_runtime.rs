@@ -87,8 +87,8 @@ fn same_proxy_resolves_to_same_mirror() {
             let acc = ctx.call(&alice, "getAccount", &[])?;
             let registry = ctx.new_object("AccountRegistry", &[])?;
             // Add the same account twice through its proxy.
-            ctx.call(&registry, "addAccount", &[acc.clone()])?;
-            ctx.call(&registry, "addAccount", &[acc.clone()])?;
+            ctx.call(&registry, "addAccount", std::slice::from_ref(&acc))?;
+            ctx.call(&registry, "addAccount", std::slice::from_ref(&acc))?;
             ctx.call(&registry, "size", &[])
         })
         .unwrap();
@@ -165,7 +165,8 @@ fn live_proxies_keep_their_mirrors() {
         let p = ctx.new_object("Person", &[Value::from("Live"), Value::Int(5)])?;
         ctx.collect_garbage(); // proxy still rooted by the frame
         // Nothing may be released while the proxy lives.
-        Ok(drop(p))
+        let _: () = drop(p);
+        Ok(())
     })
     .unwrap();
     let before = app2.registry_len(Side::Trusted);

@@ -73,6 +73,20 @@ impl GcHelper {
         GcHelper { stop, ticks, handle: Some(handle) }
     }
 
+    /// Like [`GcHelper::spawn`], but also counts every completed sweep
+    /// into `recorder` as [`telemetry::Counter::GcHelperSweeps`].
+    pub fn spawn_recorded(
+        name: impl Into<String>,
+        interval: Duration,
+        recorder: Arc<telemetry::Recorder>,
+        mut tick: impl FnMut() + Send + 'static,
+    ) -> Self {
+        Self::spawn(name, interval, move || {
+            tick();
+            recorder.incr(telemetry::Counter::GcHelperSweeps);
+        })
+    }
+
     /// Number of completed scan ticks.
     pub fn ticks(&self) -> u64 {
         self.ticks.load(Ordering::Relaxed)
@@ -107,6 +121,17 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         assert!(helper.ticks() >= 2);
         helper.stop();
+    }
+
+    #[test]
+    fn recorded_helper_counts_sweeps() {
+        let rec = telemetry::Recorder::new();
+        let helper =
+            GcHelper::spawn_recorded("t", Duration::from_millis(1), rec.clone(), || {});
+        std::thread::sleep(Duration::from_millis(30));
+        helper.stop();
+        let sweeps = rec.counter(telemetry::Counter::GcHelperSweeps);
+        assert!(sweeps >= 2, "expected sweeps recorded, got {sweeps}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! This crate provides the mechanism's building blocks, independent of
 //! class metadata:
 //!
-//! - [`hash`] — proxy identity hashes ([`ProxyHash`](hash::ProxyHash)),
+//! - [`hash`] — proxy identity hashes ([`ProxyHash`]),
 //!   with both the prototype's Java-identity scheme and the recommended
 //!   wide scheme;
 //! - [`codec`] — the wire format that deep-copies neutral objects,

@@ -21,12 +21,19 @@ use crate::hash::ProxyHash;
 #[derive(Debug, Default)]
 pub struct MirrorProxyRegistry {
     map: HashMap<ProxyHash, ObjId>,
+    recorder: Option<std::sync::Arc<telemetry::Recorder>>,
 }
 
 impl MirrorProxyRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs the telemetry recorder this registry reports its peak
+    /// size and mirror releases into.
+    pub fn set_recorder(&mut self, recorder: std::sync::Arc<telemetry::Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// Registers `mirror` under `hash`, rooting it in `heap`.
@@ -39,6 +46,9 @@ impl MirrorProxyRegistry {
         let displaced = self.map.insert(hash, mirror);
         if let Some(old) = displaced {
             heap.remove_root(old);
+        }
+        if let Some(rec) = &self.recorder {
+            rec.gauge_max(telemetry::Gauge::RegistrySizePeak, self.map.len() as u64);
         }
         displaced
     }
@@ -54,6 +64,9 @@ impl MirrorProxyRegistry {
     pub fn remove(&mut self, heap: &mut Heap, hash: ProxyHash) -> Option<ObjId> {
         let mirror = self.map.remove(&hash)?;
         heap.remove_root(mirror);
+        if let Some(rec) = &self.recorder {
+            rec.incr(telemetry::Counter::MirrorsReleased);
+        }
         Some(mirror)
     }
 
@@ -118,6 +131,23 @@ mod tests {
         assert!(!h.is_live(first), "displaced mirror released");
         assert!(h.is_live(second));
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn recorder_tracks_peak_size_and_releases() {
+        use telemetry::{Counter, Gauge, Recorder};
+        let rec = Recorder::new();
+        let mut h = heap();
+        let mut reg = MirrorProxyRegistry::new();
+        reg.set_recorder(rec.clone());
+        let a = h.alloc(ClassId(0), vec![]).unwrap();
+        let b = h.alloc(ClassId(0), vec![]).unwrap();
+        reg.register(&mut h, ProxyHash(1), a);
+        reg.register(&mut h, ProxyHash(2), b);
+        reg.remove(&mut h, ProxyHash(1));
+        reg.remove(&mut h, ProxyHash(2));
+        assert_eq!(rec.gauge(Gauge::RegistrySizePeak), 2);
+        assert_eq!(rec.counter(Counter::MirrorsReleased), 2);
     }
 
     #[test]

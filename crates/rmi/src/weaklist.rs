@@ -15,12 +15,19 @@ use crate::hash::ProxyHash;
 #[derive(Debug, Default)]
 pub struct ProxyWeakList {
     entries: Vec<(WeakRef, ProxyHash)>,
+    recorder: Option<std::sync::Arc<telemetry::Recorder>>,
 }
 
 impl ProxyWeakList {
     /// Creates an empty list.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs the telemetry recorder this list reports its scans and
+    /// dead-proxy discoveries into.
+    pub fn set_recorder(&mut self, recorder: std::sync::Arc<telemetry::Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// Starts tracking `proxy` (which carries `hash`).
@@ -41,6 +48,10 @@ impl ProxyWeakList {
                 true
             }
         });
+        if let Some(rec) = &self.recorder {
+            rec.incr(telemetry::Counter::WeakListScans);
+            rec.add(telemetry::Counter::WeakDeadFound, dead.len() as u64);
+        }
         dead
     }
 
@@ -101,6 +112,22 @@ mod tests {
         h.collect();
         assert!(!h.is_live(proxy), "weak tracking is weak");
         assert_eq!(list.scan_dead(&h), vec![ProxyHash(5)]);
+    }
+
+    #[test]
+    fn recorder_counts_scans_and_dead_hits() {
+        use telemetry::{Counter, Recorder};
+        let rec = Recorder::new();
+        let mut h = heap();
+        let mut list = ProxyWeakList::new();
+        list.set_recorder(rec.clone());
+        let proxy = h.alloc(ClassId(1), vec![]).unwrap();
+        list.track(&mut h, proxy, ProxyHash(5));
+        h.collect();
+        list.scan_dead(&h);
+        list.scan_dead(&h);
+        assert_eq!(rec.counter(Counter::WeakListScans), 2);
+        assert_eq!(rec.counter(Counter::WeakDeadFound), 1);
     }
 
     #[test]

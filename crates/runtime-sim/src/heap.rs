@@ -167,6 +167,7 @@ pub struct Heap {
     alloc_since_gc: u64,
     stats: HeapStats,
     observer: Option<std::sync::Arc<dyn HeapObserver>>,
+    recorder: Option<std::sync::Arc<telemetry::Recorder>>,
 }
 
 impl std::fmt::Debug for Heap {
@@ -194,6 +195,7 @@ impl Heap {
             alloc_since_gc: 0,
             stats: HeapStats::default(),
             observer: None,
+            recorder: None,
         }
     }
 
@@ -201,6 +203,13 @@ impl Heap {
     /// one observer is supported; installing replaces the previous one.
     pub fn set_observer(&mut self, observer: std::sync::Arc<dyn HeapObserver>) {
         self.observer = Some(observer);
+    }
+
+    /// Installs the telemetry recorder this heap reports GC cycles,
+    /// allocation volume and pause times into. At most one recorder is
+    /// supported; installing replaces the previous one.
+    pub fn set_recorder(&mut self, recorder: std::sync::Arc<telemetry::Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// The configuration the heap was created with.
@@ -267,6 +276,11 @@ impl Heap {
         self.stats.bytes_allocated += size;
         if let Some(obs) = &self.observer {
             obs.on_alloc(size);
+        }
+        if let Some(rec) = &self.recorder {
+            rec.incr(telemetry::Counter::HeapAllocObjects);
+            rec.add(telemetry::Counter::HeapAllocBytes, size);
+            rec.gauge_max(telemetry::Gauge::HeapLiveBytesPeak, self.live_bytes);
         }
         Ok(ObjId { index: slot_idx, gen: self.slots[slot_idx as usize].gen })
     }
@@ -426,10 +440,17 @@ impl Heap {
         self.stats.objects_freed += outcome.reclaimed as u64;
         self.stats.bytes_copied += outcome.bytes_copied;
         self.stats.bytes_freed += outcome.bytes_freed;
-        self.stats.gc_real_ns += started.elapsed().as_nanos() as u64;
+        let pause_ns = started.elapsed().as_nanos() as u64;
+        self.stats.gc_real_ns += pause_ns;
         if let Some(obs) = &self.observer {
             obs.on_gc_copy(outcome.bytes_copied);
             obs.on_free(outcome.bytes_freed);
+        }
+        if let Some(rec) = &self.recorder {
+            rec.incr(telemetry::Counter::GcCollections);
+            rec.add(telemetry::Counter::GcBytesCopied, outcome.bytes_copied);
+            rec.add(telemetry::Counter::GcBytesFreed, outcome.bytes_freed);
+            rec.record(telemetry::Hist::GcPauseNs, pause_ns);
         }
         outcome
     }
@@ -493,6 +514,26 @@ mod tests {
         assert!(!h.is_live(id));
         assert_eq!(h.live_objects(), 0);
         assert_eq!(h.live_bytes(), 0);
+    }
+
+    #[test]
+    fn recorder_sees_alloc_and_gc_activity() {
+        use telemetry::{Counter, Gauge, Hist, Recorder};
+        let rec = Recorder::new();
+        let mut h = heap();
+        h.set_recorder(rec.clone());
+        let keep = h.alloc(ClassId(0), vec![Value::Int(1)]).unwrap();
+        h.add_root(keep);
+        h.alloc(ClassId(0), vec![Value::Bytes(vec![0; 64])]).unwrap();
+        let live_before_gc = h.live_bytes();
+        let out = h.collect();
+        assert_eq!(rec.counter(Counter::HeapAllocObjects), 2);
+        assert_eq!(rec.counter(Counter::HeapAllocBytes), h.stats().bytes_allocated);
+        assert_eq!(rec.gauge(Gauge::HeapLiveBytesPeak), live_before_gc);
+        assert_eq!(rec.counter(Counter::GcCollections), 1);
+        assert_eq!(rec.counter(Counter::GcBytesFreed), out.bytes_freed);
+        assert_eq!(rec.counter(Counter::GcBytesCopied), out.bytes_copied);
+        assert_eq!(rec.snapshot().hist(Hist::GcPauseNs).count, 1);
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! a build-time-initialised *image heap* (§2.2 of the paper). This crate
 //! implements those components for the simulation:
 //!
-//! - [`value`] — managed [`Value`](value::Value)s and generational
-//!   object handles ([`ObjId`](value::ObjId));
+//! - [`value`] — managed [`Value`]s and generational
+//!   object handles ([`ObjId`]);
 //! - [`heap`] — the stop-and-copy collector with weak references and a
-//!   [`HeapObserver`](heap::HeapObserver) hook that lets the enclave
+//!   [`HeapObserver`] hook that lets the enclave
 //!   simulator charge MEE/EPC costs for heap traffic;
 //! - [`isolate`] — independently collected heaps, one per runtime;
 //! - [`image`] — heap snapshots carried from build time to run time.

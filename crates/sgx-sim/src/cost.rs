@@ -29,7 +29,10 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use telemetry::Recorder;
 
 /// Unit costs for every modelled SGX effect.
 ///
@@ -111,6 +114,44 @@ impl CostParams {
         }
     }
 
+    /// Paper defaults with per-field overrides read from `MONTSALVAT_*`
+    /// environment variables.
+    ///
+    /// Each [`CostParams`] field maps to one variable named after it in
+    /// upper snake case — `MONTSALVAT_CPU_GHZ`,
+    /// `MONTSALVAT_TRANSITION_CYCLES`, `MONTSALVAT_RELAY_OVERHEAD_NS`,
+    /// `MONTSALVAT_COPY_NS_PER_BYTE`, `MONTSALVAT_SERDE_NS_PER_BYTE`,
+    /// `MONTSALVAT_SERDE_ENCLAVE_FACTOR`, `MONTSALVAT_MEE_NS_PER_BYTE`,
+    /// `MONTSALVAT_MEE_GC_NS_PER_BYTE`, `MONTSALVAT_MEE_COMPUTE_FACTOR`,
+    /// `MONTSALVAT_LLC_BYTES`, `MONTSALVAT_EPC_USABLE_BYTES`,
+    /// `MONTSALVAT_EPC_FAULT_NS`, `MONTSALVAT_EPC_PAGE_BYTES`,
+    /// `MONTSALVAT_SWITCHLESS_CALL_NS` — documented field-by-field in
+    /// `docs/COST_MODEL.md`. Unset or unparseable variables keep the
+    /// paper default, so with a clean environment this equals
+    /// [`CostParams::paper_defaults`].
+    pub fn from_env() -> Self {
+        fn get<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        }
+        let d = Self::paper_defaults();
+        CostParams {
+            cpu_ghz: get("MONTSALVAT_CPU_GHZ", d.cpu_ghz),
+            transition_cycles: get("MONTSALVAT_TRANSITION_CYCLES", d.transition_cycles),
+            relay_overhead_ns: get("MONTSALVAT_RELAY_OVERHEAD_NS", d.relay_overhead_ns),
+            copy_ns_per_byte: get("MONTSALVAT_COPY_NS_PER_BYTE", d.copy_ns_per_byte),
+            serde_ns_per_byte: get("MONTSALVAT_SERDE_NS_PER_BYTE", d.serde_ns_per_byte),
+            serde_enclave_factor: get("MONTSALVAT_SERDE_ENCLAVE_FACTOR", d.serde_enclave_factor),
+            mee_ns_per_byte: get("MONTSALVAT_MEE_NS_PER_BYTE", d.mee_ns_per_byte),
+            mee_gc_ns_per_byte: get("MONTSALVAT_MEE_GC_NS_PER_BYTE", d.mee_gc_ns_per_byte),
+            mee_compute_factor: get("MONTSALVAT_MEE_COMPUTE_FACTOR", d.mee_compute_factor),
+            llc_bytes: get("MONTSALVAT_LLC_BYTES", d.llc_bytes),
+            epc_usable_bytes: get("MONTSALVAT_EPC_USABLE_BYTES", d.epc_usable_bytes),
+            epc_fault_ns: get("MONTSALVAT_EPC_FAULT_NS", d.epc_fault_ns),
+            epc_page_bytes: get("MONTSALVAT_EPC_PAGE_BYTES", d.epc_page_bytes),
+            switchless_call_ns: get("MONTSALVAT_SWITCHLESS_CALL_NS", d.switchless_call_ns),
+        }
+    }
+
     /// Nanoseconds for the hardware part of one enclave transition.
     pub fn transition_ns(&self) -> u64 {
         (self.transition_cycles as f64 / self.cpu_ghz) as u64
@@ -162,17 +203,32 @@ pub struct CostModel {
     mode: ClockMode,
     origin: Instant,
     charged_ns: AtomicU64,
+    recorder: Arc<Recorder>,
 }
 
 impl CostModel {
-    /// Creates a model with the given parameters and clock mode.
+    /// Creates a model with the given parameters and clock mode, plus a
+    /// fresh [`telemetry::Recorder`] that every layer sharing this model
+    /// (enclave, heaps, RMI) reports its boundary events into.
     pub fn new(params: CostParams, mode: ClockMode) -> Self {
-        CostModel { params, mode, origin: Instant::now(), charged_ns: AtomicU64::new(0) }
+        Self::with_recorder(params, mode, Recorder::new())
+    }
+
+    /// Creates a model reporting into an existing recorder — used when a
+    /// caller (a test, an experiment harness) wants to read one app's
+    /// telemetry in isolation from every other recorder in the process.
+    pub fn with_recorder(params: CostParams, mode: ClockMode, recorder: Arc<Recorder>) -> Self {
+        CostModel { params, mode, origin: Instant::now(), charged_ns: AtomicU64::new(0), recorder }
     }
 
     /// The unit-cost table this model charges with.
     pub fn params(&self) -> &CostParams {
         &self.params
+    }
+
+    /// The telemetry recorder shared by every layer built on this model.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
     }
 
     /// The clock mode selected at construction.
@@ -266,6 +322,22 @@ mod tests {
         let m = CostModel::new(CostParams::default(), ClockMode::Virtual);
         let ((), d) = m.measure(|| m.charge_ns(1_000_000));
         assert!(d >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn from_env_defaults_to_paper_values() {
+        // No MONTSALVAT_* variables are set in the test environment, so
+        // the env constructor must reproduce the paper platform.
+        assert_eq!(CostParams::from_env(), CostParams::paper_defaults());
+    }
+
+    #[test]
+    fn models_report_into_their_own_recorder() {
+        let m = CostModel::new(CostParams::default(), ClockMode::Virtual);
+        m.recorder().incr(telemetry::Counter::Ecalls);
+        assert_eq!(m.recorder().counter(telemetry::Counter::Ecalls), 1);
+        let fresh = CostModel::new(CostParams::default(), ClockMode::Virtual);
+        assert_eq!(fresh.recorder().counter(telemetry::Counter::Ecalls), 0);
     }
 
     #[test]

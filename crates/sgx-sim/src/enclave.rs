@@ -1,9 +1,9 @@
 //! Simulated enclave lifecycle, transitions and attestation.
 //!
 //! An [`Enclave`] is the meeting point of the whole cost model: it owns
-//! the [`EpcState`](crate::epc::EpcState) for its memory, counts
+//! the [`EpcState`] for its memory, counts
 //! ecall/ocall transitions, and charges the shared
-//! [`CostModel`](crate::cost::CostModel) for every modelled effect.
+//! [`CostModel`] for every modelled effect.
 //!
 //! Trusted code is represented as closures executed under
 //! [`Enclave::ecall`]; untrusted relays run under [`Enclave::ocall`].
@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use telemetry::{Counter, Gauge, Hist, Recorder};
 
 use crate::cost::CostModel;
 use crate::epc::EpcState;
@@ -103,15 +104,6 @@ pub struct TransitionStats {
     pub mee_bytes: u64,
 }
 
-#[derive(Debug, Default)]
-struct AtomicStats {
-    ecalls: AtomicU64,
-    ocalls: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    mee_bytes: AtomicU64,
-}
-
 /// Attestation quote stub (remote attestation, §4).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Quote {
@@ -149,7 +141,6 @@ pub struct Enclave {
     measurement: Measurement,
     config: EnclaveConfig,
     cost: Arc<CostModel>,
-    stats: AtomicStats,
     epc: Mutex<EpcState>,
     transitions_served: AtomicU64,
     lost: AtomicBool,
@@ -182,12 +173,14 @@ impl Enclave {
         let mut epc = EpcState::new();
         let charge = epc.grow(image.len() as u64, cost.params());
         cost.charge_ns(charge.ns);
+        let recorder = cost.recorder();
+        recorder.add(Counter::EpcFaults, charge.faults);
+        recorder.gauge_max(Gauge::EpcResidentPeak, epc.resident_bytes());
         Ok(Arc::new(Enclave {
             id: NEXT_ENCLAVE_ID.fetch_add(1, Ordering::Relaxed),
             measurement,
             config: config.clone(),
             cost,
-            stats: AtomicStats::default(),
             epc: Mutex::new(epc),
             transitions_served: AtomicU64::new(0),
             lost: AtomicBool::new(false),
@@ -214,16 +207,30 @@ impl Enclave {
         &self.cost
     }
 
+    /// The telemetry recorder this enclave reports transitions into
+    /// (the cost model's recorder).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        self.cost.recorder()
+    }
+
     /// Current transition counters.
+    ///
+    /// Since the telemetry subsystem landed this is a *view* over the
+    /// shared [`Recorder`]: the enclave no longer keeps bespoke atomic
+    /// counters, so these numbers are by construction identical to the
+    /// `sgx.*` counters in an exported snapshot. (Each enclave gets its
+    /// own recorder via its cost model unless a caller explicitly
+    /// shares one across enclaves.)
     pub fn stats(&self) -> TransitionStats {
         let epc = self.epc.lock();
+        let recorder = self.cost.recorder();
         TransitionStats {
-            ecalls: self.stats.ecalls.load(Ordering::Relaxed),
-            ocalls: self.stats.ocalls.load(Ordering::Relaxed),
-            bytes_in: self.stats.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.stats.bytes_out.load(Ordering::Relaxed),
+            ecalls: recorder.counter(Counter::Ecalls),
+            ocalls: recorder.counter(Counter::Ocalls),
+            bytes_in: recorder.counter(Counter::BytesIn),
+            bytes_out: recorder.counter(Counter::BytesOut),
             epc_faults: epc.faults(),
-            mee_bytes: self.stats.mee_bytes.load(Ordering::Relaxed),
+            mee_bytes: recorder.counter(Counter::MeeBytes),
         }
     }
 
@@ -259,8 +266,11 @@ impl Enclave {
     /// failure injection tripped.
     pub fn ecall<R>(&self, _routine: &str, bytes_in: usize, f: impl FnOnce() -> R) -> Result<R, SgxError> {
         self.check_alive()?;
-        self.stats.ecalls.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
+        let recorder = self.cost.recorder();
+        recorder.incr(Counter::Ecalls);
+        recorder.incr(Counter::EdlDispatches);
+        recorder.add(Counter::BytesIn, bytes_in as u64);
+        recorder.record(Hist::CrossingBytes, bytes_in as u64);
         self.charge_crossing(bytes_in);
         Ok(f())
     }
@@ -272,10 +282,18 @@ impl Enclave {
     ///
     /// Returns [`SgxError::EnclaveLost`] if the enclave was destroyed or
     /// failure injection tripped.
-    pub fn ocall<R>(&self, _routine: &str, bytes_out: usize, f: impl FnOnce() -> R) -> Result<R, SgxError> {
+    pub fn ocall<R>(&self, routine: &str, bytes_out: usize, f: impl FnOnce() -> R) -> Result<R, SgxError> {
         self.check_alive()?;
-        self.stats.ocalls.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_out.fetch_add(bytes_out as u64, Ordering::Relaxed);
+        let recorder = self.cost.recorder();
+        recorder.incr(Counter::Ocalls);
+        recorder.incr(Counter::EdlDispatches);
+        // The libc shim namespaces its edge routines "shim_*"; counting
+        // them here keeps every shim call site automatically covered.
+        if routine.starts_with("shim_") {
+            recorder.incr(Counter::ShimOcalls);
+        }
+        recorder.add(Counter::BytesOut, bytes_out as u64);
+        recorder.record(Hist::CrossingBytes, bytes_out as u64);
         self.charge_crossing(bytes_out);
         Ok(f())
     }
@@ -296,7 +314,11 @@ impl Enclave {
             });
         }
         let charge = epc.grow(bytes, self.cost.params());
+        let resident = epc.resident_bytes();
         drop(epc);
+        let recorder = self.cost.recorder();
+        recorder.add(Counter::EpcFaults, charge.faults);
+        recorder.gauge_max(Gauge::EpcResidentPeak, resident);
         self.cost.charge_ns(charge.ns);
         Ok(())
     }
@@ -319,10 +341,12 @@ impl Enclave {
     }
 
     fn charge_traffic_at(&self, bytes: u64, ns_per_byte: f64) {
-        self.stats.mee_bytes.fetch_add(bytes, Ordering::Relaxed);
+        let recorder = self.cost.recorder();
+        recorder.add(Counter::MeeBytes, bytes);
         let params = self.cost.params();
         let mee_ns = (bytes as f64 * ns_per_byte) as u64;
         let epc_charge = self.epc.lock().touch(bytes, params);
+        recorder.add(Counter::EpcFaults, epc_charge.faults);
         self.cost.charge_ns(mee_ns + epc_charge.ns);
     }
 
@@ -458,6 +482,38 @@ mod tests {
         ));
         let e = Enclave::create(&EnclaveConfig::default(), b"i", cost).unwrap();
         e.alloc_heap(256 * 1024).unwrap();
+        assert!(e.stats().epc_faults > 0);
+    }
+
+    #[test]
+    fn stats_are_a_view_over_the_recorder() {
+        let e = enclave();
+        e.ecall("f", 64, || ()).unwrap();
+        e.ocall("shim_write", 32, || ()).unwrap();
+        e.charge_heap_traffic(500);
+        let s = e.stats();
+        let r = e.recorder();
+        assert_eq!(s.ecalls, r.counter(Counter::Ecalls));
+        assert_eq!(s.ocalls, r.counter(Counter::Ocalls));
+        assert_eq!(s.bytes_in, r.counter(Counter::BytesIn));
+        assert_eq!(s.bytes_out, r.counter(Counter::BytesOut));
+        assert_eq!(s.mee_bytes, r.counter(Counter::MeeBytes));
+        assert_eq!(s.epc_faults, r.counter(Counter::EpcFaults));
+        assert_eq!(r.counter(Counter::ShimOcalls), 1);
+        assert_eq!(r.counter(Counter::EdlDispatches), 2);
+        assert_eq!(e.recorder().snapshot().hist(telemetry::Hist::CrossingBytes).count, 2);
+    }
+
+    #[test]
+    fn epc_fault_mirror_matches_paging_model() {
+        let cost = Arc::new(CostModel::new(
+            CostParams { epc_usable_bytes: 64 * 1024, ..CostParams::default() },
+            ClockMode::Virtual,
+        ));
+        let e = Enclave::create(&EnclaveConfig::default(), b"i", cost).unwrap();
+        e.alloc_heap(256 * 1024).unwrap();
+        e.charge_heap_traffic(512 * 1024);
+        assert_eq!(e.stats().epc_faults, e.recorder().counter(Counter::EpcFaults));
         assert!(e.stats().epc_faults > 0);
     }
 

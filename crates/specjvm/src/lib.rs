@@ -127,7 +127,7 @@ impl Workload {
     ///
     /// SPECjvm2008's `monte_carlo` allocates heavily; the paper's
     /// Table 1 attributes its in-enclave native-image *loss* against
-    /// SCONE+JVM to GC cycles triggered in the native image ([28]).
+    /// SCONE+JVM to GC cycles triggered in the native image (\[28\]).
     /// The harness allocates this volume of short-lived managed objects
     /// around the kernel so that deployments with weaker collectors pay
     /// for it.

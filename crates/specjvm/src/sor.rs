@@ -6,9 +6,7 @@ pub fn run(n: usize, iterations: u32, omega: f64) -> f64 {
     let n = n.max(3);
     let mut grid = vec![0.0f64; n * n];
     // Boundary condition: hot top edge.
-    for j in 0..n {
-        grid[j] = 1.0;
-    }
+    grid[..n].fill(1.0);
     let omega_over_four = omega * 0.25;
     let one_minus_omega = 1.0 - omega;
     for _ in 0..iterations {

@@ -1,0 +1,169 @@
+//! Lock-cheap event/metrics layer for the Montsalvat simulation.
+//!
+//! Every layer that touches the (simulated) enclave boundary reports
+//! into a [`Recorder`]: `sgx-sim` counts transitions, crossing bytes,
+//! EPC faults and MEE traffic; `runtime-sim` counts GC cycles and
+//! copied bytes; `rmi` counts codec bytes, registry churn and
+//! GC-helper sweeps; `montsalvat-core::exec` times per-proxy-call
+//! spans for classic vs switchless RMI. A recorder is a fixed block
+//! of atomics — recording an event is one `fetch_add` with relaxed
+//! ordering, cheap enough to leave on everywhere.
+//!
+//! [`Recorder::snapshot`] freezes the current values into a
+//! [`Snapshot`], snapshots [`Snapshot::merge`] across recorders, and
+//! [`Snapshot::to_json`] exports the versioned, machine-readable
+//! document that `--telemetry-out` writes (schema
+//! [`SCHEMA`], documented in `docs/TELEMETRY.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::{Counter, Hist, Recorder};
+//!
+//! let recorder = Recorder::new();
+//! recorder.incr(Counter::Ecalls);
+//! recorder.add(Counter::BytesIn, 128);
+//! recorder.record_ns(Hist::RmiCallNs, 42_000);
+//!
+//! let snap = recorder.snapshot();
+//! assert_eq!(snap.counter(Counter::Ecalls), 1);
+//! assert!(snap.to_json().contains("montsalvat.telemetry/v1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod recorder;
+mod snapshot;
+
+pub use hist::{bucket_index, bucket_upper_bound, AtomicHistogram, HistogramSnapshot, BUCKETS};
+pub use recorder::{aggregate, Recorder, Span};
+pub use snapshot::{extract_counter, Snapshot};
+
+/// Identifier of the JSON schema emitted by [`Snapshot::to_json`].
+///
+/// The suffix is a major version: metric *additions* keep the same
+/// version; renaming or removing a metric, or changing a unit, bumps
+/// it. Consumers should accept unknown metric names.
+pub const SCHEMA: &str = "montsalvat.telemetry/v1";
+
+macro_rules! metric_enum {
+    (
+        $(#[$outer:meta])*
+        $vis:vis enum $name:ident {
+            $($(#[$doc:meta])* $variant:ident => ($metric:literal, $unit:literal),)*
+        }
+    ) => {
+        $(#[$outer])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        $vis enum $name {
+            $($(#[$doc])* $variant,)*
+        }
+
+        impl $name {
+            /// Every variant, in stable export order.
+            pub const ALL: &'static [$name] = &[$($name::$variant,)*];
+
+            /// The dotted metric name used in the JSON export.
+            pub const fn metric_name(self) -> &'static str {
+                match self {
+                    $($name::$variant => $metric,)*
+                }
+            }
+
+            /// The unit recorded values are expressed in.
+            pub const fn unit(self) -> &'static str {
+                match self {
+                    $($name::$variant => $unit,)*
+                }
+            }
+
+            pub(crate) const COUNT: usize = Self::ALL.len();
+        }
+    };
+}
+
+metric_enum! {
+    /// Monotone event counters.
+    pub enum Counter {
+        /// World→enclave transitions performed by `sgx-sim`'s `Enclave::ecall`.
+        Ecalls => ("sgx.ecalls", "calls"),
+        /// Enclave→world transitions performed by `Enclave::ocall`.
+        Ocalls => ("sgx.ocalls", "calls"),
+        /// Bytes marshalled into the enclave across ecalls.
+        BytesIn => ("sgx.bytes_in", "bytes"),
+        /// Bytes marshalled out of the enclave across ocalls.
+        BytesOut => ("sgx.bytes_out", "bytes"),
+        /// Bytes charged at MEE (memory-encryption-engine) rates.
+        MeeBytes => ("sgx.mee_bytes", "bytes"),
+        /// EPC page faults raised by the paging model.
+        EpcFaults => ("sgx.epc_faults", "faults"),
+        /// Ocalls issued by the libc shim (file + clock relays).
+        ShimOcalls => ("sgx.shim_ocalls", "calls"),
+        /// Named EDL routine dispatches through the trusted bridge.
+        EdlDispatches => ("sgx.edl_dispatches", "calls"),
+        /// Stop-and-copy collections completed.
+        GcCollections => ("gc.collections", "collections"),
+        /// Bytes evacuated by the copying collector.
+        GcBytesCopied => ("gc.bytes_copied", "bytes"),
+        /// Bytes reclaimed from dead objects.
+        GcBytesFreed => ("gc.bytes_freed", "bytes"),
+        /// Bytes allocated on simulated heaps.
+        HeapAllocBytes => ("gc.alloc_bytes", "bytes"),
+        /// Objects allocated on simulated heaps.
+        HeapAllocObjects => ("gc.alloc_objects", "objects"),
+        /// Classic (relay-based) cross-world RMI invocations.
+        RmiCalls => ("rmi.calls", "calls"),
+        /// RMI invocations served by switchless worker pools.
+        SwitchlessCalls => ("rmi.switchless_calls", "calls"),
+        /// Payload bytes serialized for cross-world messages.
+        BytesSerialized => ("rmi.bytes_serialized", "bytes"),
+        /// Bytes produced by the value codec when encoding.
+        CodecBytesOut => ("rmi.codec_bytes_out", "bytes"),
+        /// Bytes consumed by the value codec when decoding.
+        CodecBytesIn => ("rmi.codec_bytes_in", "bytes"),
+        /// Proxy objects constructed for remote references.
+        ProxiesCreated => ("rmi.proxies_created", "objects"),
+        /// Mirror objects registered on the receiving side.
+        MirrorsCreated => ("rmi.mirrors_created", "objects"),
+        /// Mirrors released by cross-world GC synchronisation.
+        MirrorsReleased => ("rmi.mirrors_released", "objects"),
+        /// Periodic GC-helper thread wake-ups.
+        GcHelperSweeps => ("rmi.gc_helper_sweeps", "sweeps"),
+        /// Weak-proxy-list scans for dead proxies.
+        WeakListScans => ("rmi.weaklist_scans", "scans"),
+        /// Dead proxies found by weak-list scans.
+        WeakDeadFound => ("rmi.weak_dead_found", "objects"),
+        /// Relay method dispatches executed on a receiving world.
+        RelayDispatches => ("exec.relay_dispatches", "calls"),
+    }
+}
+
+metric_enum! {
+    /// High-water-mark gauges: [`Recorder::gauge_max`] keeps the
+    /// largest value ever reported.
+    pub enum Gauge {
+        /// Peak number of rooted mirrors in a registry.
+        RegistrySizePeak => ("rmi.registry_size_peak", "objects"),
+        /// Peak live bytes across simulated heaps.
+        HeapLiveBytesPeak => ("gc.heap_live_bytes_peak", "bytes"),
+        /// Peak EPC-resident bytes committed by an enclave.
+        EpcResidentPeak => ("sgx.epc_resident_peak", "bytes"),
+    }
+}
+
+metric_enum! {
+    /// Log2-bucketed distributions.
+    pub enum Hist {
+        /// Model nanoseconds charged per classic (relay) RMI call.
+        RmiCallNs => ("rmi.call_ns", "ns"),
+        /// Model nanoseconds charged per switchless RMI call.
+        SwitchlessCallNs => ("rmi.switchless_call_ns", "ns"),
+        /// Wire bytes per enclave-boundary crossing.
+        CrossingBytes => ("sgx.crossing_bytes", "bytes"),
+        /// Wall-clock nanoseconds per stop-and-copy collection.
+        GcPauseNs => ("gc.pause_ns", "ns"),
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build environment has no crates-registry access, so this
+//! in-tree shim provides the multi-producer/multi-consumer channels
+//! the switchless-call worker pools rely on, implemented over
+//! `std::sync::mpsc`. Cloneable receivers are emulated with a shared
+//! mutex around the underlying single-consumer receiver — adequate
+//! for the small worker pools this workspace spawns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels (`crossbeam::channel` subset).
+pub mod channel {
+    use std::fmt;
+    use std::sync::{mpsc, Arc, Mutex};
+
+    /// The sending half of a channel. Cloneable.
+    pub struct Sender<T>(SenderInner<T>);
+
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// The receiving half of a channel. Cloneable: clones share the
+    /// same queue, and each message is delivered to exactly one
+    /// receiver.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+                SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+            })
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking if the channel is bounded and full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                SenderInner::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message, blocking until one arrives or
+        /// every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Receives a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let rx = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            rx.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Creates a channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderInner::Unbounded(tx)), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages
+    /// (`cap == 0` gives a rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderInner::Bounded(tx)), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_fan_in_fan_out() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx2.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn bounded_reply_slot() {
+        let (tx, rx) = channel::bounded::<&'static str>(1);
+        tx.send("reply").unwrap();
+        assert_eq!(rx.recv(), Ok("reply"));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = channel::unbounded::<u64>();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += rx.recv().unwrap();
+        }
+        handle.join().unwrap();
+        assert_eq!(sum, 4950);
+    }
+}

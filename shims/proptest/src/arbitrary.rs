@@ -1,0 +1,78 @@
+//! `any::<T>()` and the [`Arbitrary`] trait behind it.
+
+use std::marker::PhantomData;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-domain generation strategy.
+pub trait Arbitrary {
+    /// Generates an unconstrained value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite full-ish-range floats; NaN/Inf excluded on purpose so
+        // equality-based properties stay meaningful.
+        (rng.f64_unit() - 0.5) * 2.0e18
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII with an occasional BMP scalar.
+        if rng.below(8) == 0 {
+            char::from_u32(0x100 + rng.below(0xD000) as u32).unwrap_or('\u{FFFD}')
+        } else {
+            (0x20 + rng.below(0x5F) as u8) as char
+        }
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::for_case("any", 0);
+        let strat = any::<u8>();
+        let distinct: std::collections::HashSet<u8> =
+            (0..64).map(|_| strat.generate(&mut rng)).collect();
+        assert!(distinct.len() > 16);
+    }
+}

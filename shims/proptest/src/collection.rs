@@ -1,0 +1,75 @@
+//! Collection strategies (`proptest::collection` subset).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// An inclusive-exclusive length bound for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange { lo: r.start, hi: r.end.max(r.start) }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: r.end().saturating_add(1).max(*r.start()) }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// Strategy generating `Vec`s whose elements come from an inner
+/// strategy; built by [`vec!`].
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.lo, self.size.hi);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of `elem` values with a length drawn from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let strat = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn nested_vecs_compose() {
+        let strat = vec(vec(any::<bool>(), 0..3), 1..4);
+        let mut rng = TestRng::for_case("nested", 0);
+        let v = strat.generate(&mut rng);
+        assert!((1..4).contains(&v.len()));
+    }
+}

@@ -1,0 +1,39 @@
+//! Option strategies (`proptest::option` subset).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy generating `Option`s of an inner strategy; built by [`of`].
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Match real proptest's default: Some three times out of four.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+/// Generates `None` or `Some` of the inner strategy's values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn of_produces_both_variants() {
+        let strat = of(any::<u8>());
+        let mut rng = TestRng::for_case("option", 0);
+        let values: Vec<Option<u8>> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+}

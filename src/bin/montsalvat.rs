@@ -8,6 +8,9 @@
 //! ```sh
 //! montsalvat partition app.mont            # report to stdout
 //! montsalvat partition app.mont -o outdir  # also write EDL + bridge C
+//! montsalvat partition app.mont --telemetry-out t.json
+//!                                          # also launch the partitioned
+//!                                          # app, run main, export metrics
 //! montsalvat example                       # print a sample description
 //! ```
 //!
@@ -49,7 +52,9 @@ fn main() -> ExitCode {
         }
         Some("partition") => {
             let Some(input) = args.get(1) else {
-                eprintln!("usage: montsalvat partition <file> [-o <outdir>]");
+                eprintln!(
+                    "usage: montsalvat partition <file> [-o <outdir>] [--telemetry-out <path>]"
+                );
                 return ExitCode::FAILURE;
             };
             let outdir = args
@@ -57,7 +62,12 @@ fn main() -> ExitCode {
                 .position(|a| a == "-o")
                 .and_then(|i| args.get(i + 1))
                 .map(PathBuf::from);
-            match run_partition(input, outdir.as_deref()) {
+            let telemetry_out = args
+                .iter()
+                .position(|a| a == "--telemetry-out")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from);
+            match run_partition(input, outdir.as_deref(), telemetry_out.as_deref()) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -69,7 +79,10 @@ fn main() -> ExitCode {
             eprintln!("montsalvat — annotation-based partitioning for (simulated) SGX enclaves");
             eprintln!();
             eprintln!("commands:");
-            eprintln!("  partition <file> [-o <outdir>]  partition a class description");
+            eprintln!("  partition <file> [-o <outdir>] [--telemetry-out <path>]");
+            eprintln!("                                  partition a class description;");
+            eprintln!("                                  with --telemetry-out, also launch");
+            eprintln!("                                  the app, run main, export metrics");
             eprintln!("  example                         print a sample description");
             ExitCode::FAILURE
         }
@@ -103,7 +116,11 @@ const EXAMPLE: &str = "\
 main Main.main
 ";
 
-fn run_partition(input: &str, outdir: Option<&std::path::Path>) -> Result<(), String> {
+fn run_partition(
+    input: &str,
+    outdir: Option<&std::path::Path>,
+    telemetry_out: Option<&std::path::Path>,
+) -> Result<(), String> {
     let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
     let program = parse_program(&text)?;
     let tp = transform(&program);
@@ -128,6 +145,40 @@ fn run_partition(input: &str, outdir: Option<&std::path::Path>) -> Result<(), St
             .map_err(|e| e.to_string())?;
         println!("artefacts written to {}", dir.display());
     }
+
+    if let Some(path) = telemetry_out {
+        export_run_telemetry(&trusted, &untrusted, path)?;
+    }
+    Ok(())
+}
+
+/// Launches the freshly partitioned application, runs its `main` entry
+/// point, and writes the run's telemetry as versioned JSON
+/// ([`montsalvat::telemetry::SCHEMA`]) to `path`.
+fn export_run_telemetry(
+    trusted: &montsalvat::core::image_builder::NativeImage,
+    untrusted: &montsalvat::core::image_builder::NativeImage,
+    path: &std::path::Path,
+) -> Result<(), String> {
+    use montsalvat::core::exec::app::{AppConfig, PartitionedApp};
+    use montsalvat::telemetry::{Counter, Recorder};
+
+    let recorder = Recorder::new();
+    let config = AppConfig { telemetry: Some(recorder.clone()), ..AppConfig::default() };
+    let app = PartitionedApp::launch(trusted, untrusted, config).map_err(|e| e.to_string())?;
+    app.run_main().map_err(|e| e.to_string())?;
+    let snapshot = recorder.snapshot();
+    app.shutdown();
+    std::fs::write(path, snapshot.to_json())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!(
+        "\ntelemetry ({}): {} — ecalls {}, ocalls {}, proxies {}",
+        montsalvat::telemetry::SCHEMA,
+        path.display(),
+        snapshot.counter(Counter::Ecalls),
+        snapshot.counter(Counter::Ocalls),
+        snapshot.counter(Counter::ProxiesCreated),
+    );
     Ok(())
 }
 

@@ -23,6 +23,7 @@
 //! | [`graphchi`] | `graphchi` | GraphChi-style graph engine + PageRank |
 //! | [`specjvm`] | `specjvm` | SPECjvm2008-style kernels |
 //! | [`baselines`] | `baselines` | deployment configurations incl. the SCONE+JVM model |
+//! | [`telemetry`] | `telemetry` | lock-cheap metrics layer: counters, histograms, JSON export |
 //!
 //! # Quickstart
 //!
@@ -61,3 +62,4 @@ pub use rmi;
 pub use runtime_sim as runtime;
 pub use sgx_sim as sgx;
 pub use specjvm;
+pub use telemetry;

@@ -1,0 +1,93 @@
+//! End-to-end telemetry integration: a quickstart-scale partitioned run
+//! exports versioned JSON whose counters are nonzero and agree exactly
+//! with the legacy `sgx_stats()` facade — the two views are reads of the
+//! same recorder, and this test pins that equivalence.
+
+use montsalvat::core::exec::app::{AppConfig, PartitionedApp};
+use montsalvat::core::image_builder::{build_partitioned_images, ImageOptions};
+use montsalvat::core::samples::bank_program;
+use montsalvat::core::transform::transform;
+use montsalvat::telemetry::{extract_counter, Counter, Recorder, SCHEMA};
+
+/// Launches the bank sample with an injected recorder (isolated from
+/// any other app running in the test process), runs `main` plus a GC
+/// cycle, and returns the app alongside its recorder.
+fn quickstart_run() -> (PartitionedApp, std::sync::Arc<Recorder>) {
+    let transformed = transform(&bank_program());
+    let (trusted, untrusted) =
+        build_partitioned_images(&transformed, &ImageOptions::default(), &ImageOptions::default())
+            .unwrap();
+    let recorder = Recorder::new();
+    let config = AppConfig {
+        gc_helper_interval: None,
+        telemetry: Some(recorder.clone()),
+        ..AppConfig::default()
+    };
+    let app = PartitionedApp::launch(&trusted, &untrusted, config).unwrap();
+    app.run_main().unwrap();
+    // In-enclave scratch I/O relays through the libc shim: one ecall to
+    // enter, ocalls for the file operations.
+    app.enter_trusted(|ctx| ctx.io_write(1024)).unwrap();
+    app.enter_untrusted(|ctx| {
+        ctx.collect_garbage();
+        Ok(())
+    })
+    .unwrap();
+    app.gc_sync_once().unwrap();
+    (app, recorder)
+}
+
+#[test]
+fn exported_json_matches_sgx_stats() {
+    let (app, recorder) = quickstart_run();
+    let stats = app.sgx_stats();
+    let json = recorder.snapshot().to_json();
+
+    assert!(json.contains(&format!("\"schema\": \"{SCHEMA}\"")));
+
+    // Nonzero activity: the bank app crosses the boundary and collects.
+    assert!(stats.ecalls > 0, "quickstart run must perform ecalls");
+    assert!(stats.ocalls > 0, "gc_sync_once exits the enclave");
+    let gc = extract_counter(&json, "gc.collections").unwrap();
+    assert!(gc > 0, "the run must collect at least once");
+
+    // The exported JSON and the legacy facade agree exactly.
+    assert_eq!(extract_counter(&json, "sgx.ecalls"), Some(stats.ecalls));
+    assert_eq!(extract_counter(&json, "sgx.ocalls"), Some(stats.ocalls));
+    assert_eq!(extract_counter(&json, "sgx.bytes_in"), Some(stats.bytes_in));
+    assert_eq!(extract_counter(&json, "sgx.bytes_out"), Some(stats.bytes_out));
+    assert_eq!(extract_counter(&json, "sgx.mee_bytes"), Some(stats.mee_bytes));
+    assert_eq!(extract_counter(&json, "sgx.epc_faults"), Some(stats.epc_faults));
+
+    // The RMI layer reports into the same recorder.
+    let world = app.world_stats(montsalvat::core::annotation::Side::Untrusted);
+    let rmi_calls = extract_counter(&json, "rmi.calls").unwrap();
+    assert!(rmi_calls >= world.rmi_calls, "both worlds report into one recorder");
+    assert!(extract_counter(&json, "rmi.proxies_created").unwrap() > 0);
+    assert!(extract_counter(&json, "rmi.mirrors_created").unwrap() > 0);
+    app.shutdown();
+}
+
+#[test]
+fn injected_recorders_isolate_concurrent_apps() {
+    let (app_a, rec_a) = quickstart_run();
+    let ecalls_a = rec_a.counter(Counter::Ecalls);
+    app_a.shutdown();
+
+    let (app_b, rec_b) = quickstart_run();
+    // The second run's recorder starts from zero: app A's activity did
+    // not leak into it.
+    assert_eq!(rec_b.counter(Counter::Ecalls), app_b.sgx_stats().ecalls);
+    assert_eq!(rec_a.counter(Counter::Ecalls), ecalls_a, "app B did not write into A");
+    app_b.shutdown();
+}
+
+#[test]
+fn snapshot_counters_match_live_reads() {
+    let (app, recorder) = quickstart_run();
+    let snap = app.telemetry_snapshot();
+    for &c in Counter::ALL.iter() {
+        assert_eq!(snap.counter(c), recorder.counter(c), "{}", c.metric_name());
+    }
+    app.shutdown();
+}
