@@ -92,12 +92,7 @@ pub enum Deployment {
 impl Deployment {
     /// All four deployments.
     pub fn all() -> [Deployment; 4] {
-        [
-            Deployment::NoSgxNative,
-            Deployment::SgxNative,
-            Deployment::NoSgxJvm,
-            Deployment::SconeJvm,
-        ]
+        [Deployment::NoSgxNative, Deployment::SgxNative, Deployment::NoSgxJvm, Deployment::SconeJvm]
     }
 
     /// The paper's label for this deployment.

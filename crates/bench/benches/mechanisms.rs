@@ -22,11 +22,8 @@ fn spin_app() -> PartitionedApp {
     let options = ImageOptions::with_entry_points(experiments::progs::proxy_bench_entries());
     let (trusted, untrusted) =
         build_partitioned_images(&tp, &options, &options).expect("images build");
-    let config = AppConfig {
-        gc_helper_interval: None,
-        clock_mode: ClockMode::Spin,
-        ..AppConfig::default()
-    };
+    let config =
+        AppConfig { gc_helper_interval: None, clock_mode: ClockMode::Spin, ..AppConfig::default() };
     PartitionedApp::launch(&trusted, &untrusted, config).expect("launch")
 }
 
@@ -83,8 +80,7 @@ fn bench_codec(c: &mut Criterion) {
     heap.add_root(obj);
     c.bench_function("codec_encode_1000_strings", |b| {
         b.iter(|| {
-            rmi::codec::encode_value(&heap, &Value::Ref(obj), &mut rmi::codec::inline_all)
-                .unwrap()
+            rmi::codec::encode_value(&heap, &Value::Ref(obj), &mut rmi::codec::inline_all).unwrap()
         })
     });
     let bytes =
@@ -93,9 +89,8 @@ fn bench_codec(c: &mut Criterion) {
         b.iter_batched(
             || Heap::new(HeapConfig::default()),
             |mut dst| {
-                let d =
-                    rmi::codec::decode_value(&mut dst, &bytes, &mut rmi::codec::resolve_none)
-                        .unwrap();
+                let d = rmi::codec::decode_value(&mut dst, &bytes, &mut rmi::codec::resolve_none)
+                    .unwrap();
                 std::hint::black_box(d.unpin(&mut dst))
             },
             BatchSize::SmallInput,
@@ -107,10 +102,8 @@ fn bench_gc(c: &mut Criterion) {
     c.bench_function("gc_collect_10k_objects", |b| {
         b.iter_batched(
             || {
-                let mut heap = Heap::new(HeapConfig {
-                    gc_threshold_bytes: u64::MAX,
-                    ..HeapConfig::default()
-                });
+                let mut heap =
+                    Heap::new(HeapConfig { gc_threshold_bytes: u64::MAX, ..HeapConfig::default() });
                 for i in 0..10_000 {
                     let id = heap.alloc(ClassId(0), vec![Value::Int(i)]).unwrap();
                     if i % 2 == 0 {
@@ -148,12 +141,9 @@ fn bench_graphchi(c: &mut Criterion) {
         let mut n = 0u64;
         b.iter(|| {
             n += 1;
-            let dir = std::env::temp_dir().join(format!(
-                "bench_shard_{}_{n}",
-                std::process::id()
-            ));
-            let g = graphchi::sharder::shard(&graphchi::Backend::Host, &dir, 2000, &edges, 4)
-                .unwrap();
+            let dir = std::env::temp_dir().join(format!("bench_shard_{}_{n}", std::process::id()));
+            let g =
+                graphchi::sharder::shard(&graphchi::Backend::Host, &dir, 2000, &edges, 4).unwrap();
             g.cleanup();
             std::fs::remove_dir_all(&dir).ok();
         })
@@ -162,9 +152,7 @@ fn bench_graphchi(c: &mut Criterion) {
 
 fn bench_kernels(c: &mut Criterion) {
     for w in specjvm::Workload::all() {
-        c.bench_function(&format!("kernel_{w}"), |b| {
-            b.iter(|| std::hint::black_box(w.run_once()))
-        });
+        c.bench_function(&format!("kernel_{w}"), |b| b.iter(|| std::hint::black_box(w.run_once())));
     }
 }
 

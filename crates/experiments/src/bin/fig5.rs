@@ -8,7 +8,10 @@ fn main() {
     print_params(&CostParams::paper_defaults());
     let a = experiments::gc::fig5a(scale);
     print_figure("Figure 5(a): total GC time (s)", "# objects", &a);
-    println!("\nGC in enclave / GC outside: {:.1}x (paper: ~1 order of magnitude)", mean_ratio(&a[1], &a[0]));
+    println!(
+        "\nGC in enclave / GC outside: {:.1}x (paper: ~1 order of magnitude)",
+        mean_ratio(&a[1], &a[0])
+    );
 
     let samples = experiments::gc::fig5b(scale);
     println!("\n=== Figure 5(b): GC consistency (proxies out vs mirrors in) ===");

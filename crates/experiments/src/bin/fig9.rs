@@ -8,7 +8,10 @@ fn main() {
     print_params(&CostParams::paper_defaults());
     for ((v, e), runs) in experiments::graph::fig9(scale) {
         println!("\n=== Figure 9: PageRank, {v}-V / {e}-E ===");
-        println!("{:>7} {:>12} {:>10} {:>10} {:>10}", "shards", "config", "total", "engine", "sharding");
+        println!(
+            "{:>7} {:>12} {:>10} {:>10} {:>10}",
+            "shards", "config", "total", "engine", "sharding"
+        );
         for (config, run) in runs {
             println!(
                 "{:>7} {:>12} {:>10.3} {:>10.3} {:>10.3}",

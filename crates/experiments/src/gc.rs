@@ -55,12 +55,9 @@ pub fn fig5a(scale: Scale) -> Vec<Series> {
                 ctx.collect_garbage();
                 Ok(ctx.cost_charged() - start)
             };
-            let charged = if in_enclave {
-                app.enter_trusted(body)
-            } else {
-                app.enter_untrusted(body)
-            }
-            .expect("gc scenario runs");
+            let charged =
+                if in_enclave { app.enter_trusted(body) } else { app.enter_untrusted(body) }
+                    .expect("gc scenario runs");
             let model_seconds = charged.as_secs_f64() + n as f64 * NOMINAL_GC_NS_PER_OBJECT * 1e-9;
             series[idx].push(n as f64, model_seconds);
         }

@@ -222,10 +222,8 @@ pub fn fig11(scale: Scale) -> Vec<(GraphConfig, Vec<GraphRun>)> {
     configs
         .into_iter()
         .map(|config| {
-            let runs = shard_counts(scale)
-                .into_iter()
-                .map(|s| run_config(config, v, e, s))
-                .collect();
+            let runs =
+                shard_counts(scale).into_iter().map(|s| run_config(config, v, e, s)).collect();
             (config, runs)
         })
         .collect()

@@ -125,8 +125,7 @@ pub fn fig4b(scale: Scale) -> Vec<Series> {
     };
     for &size in &sizes {
         let per_call = (size / 100).max(1);
-        let list =
-            Value::List((0..per_call).map(|i| Value::Str(format!("{i:016}"))).collect());
+        let list = Value::List((0..per_call).map(|i| Value::Str(format!("{i:016}"))).collect());
         for (idx, label) in labels.iter().enumerate() {
             let app = launch();
             let with_s = label.ends_with("+s");
@@ -141,14 +140,10 @@ pub fn fig4b(scale: Scale) -> Vec<Series> {
                 }
                 Ok(ctx.cost_charged() - start)
             };
-            let charged = if trusted_side {
-                app.enter_trusted(body)
-            } else {
-                app.enter_untrusted(body)
-            }
-            .expect("serialization scenario runs");
-            let model_seconds =
-                charged.as_secs_f64() + invocations as f64 * NOMINAL_CALL_NS * 1e-9;
+            let charged =
+                if trusted_side { app.enter_trusted(body) } else { app.enter_untrusted(body) }
+                    .expect("serialization scenario runs");
+            let model_seconds = charged.as_secs_f64() + invocations as f64 * NOMINAL_CALL_NS * 1e-9;
             series[idx].push(size as f64, model_seconds);
         }
     }

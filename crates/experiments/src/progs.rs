@@ -64,7 +64,11 @@ fn obj_class(name: &str, trust: Trust) -> ClassDef {
             1,
             1,
             vec![
-                Instr::SetField { recv: Operand::This, field: "val".into(), value: Operand::Local(0) },
+                Instr::SetField {
+                    recv: Operand::This,
+                    field: "val".into(),
+                    value: Operand::Local(0),
+                },
                 Instr::Return { value: None },
             ],
         ))
@@ -74,7 +78,11 @@ fn obj_class(name: &str, trust: Trust) -> ClassDef {
             1,
             1,
             vec![
-                Instr::SetField { recv: Operand::This, field: "val".into(), value: Operand::Local(0) },
+                Instr::SetField {
+                    recv: Operand::This,
+                    field: "val".into(),
+                    value: Operand::Local(0),
+                },
                 Instr::Return { value: None },
             ],
         ))
@@ -109,9 +117,7 @@ pub fn proxy_bench_program() -> Program {
 pub fn proxy_bench_entries() -> Vec<MethodRef> {
     ["TObj", "UObj"]
         .into_iter()
-        .flat_map(|c| {
-            [CTOR, "set", "get"].into_iter().map(move |m| MethodRef::new(c, m))
-        })
+        .flat_map(|c| [CTOR, "set", "get"].into_iter().map(move |m| MethodRef::new(c, m)))
         .collect()
 }
 
@@ -206,11 +212,8 @@ pub fn paldb_program(scheme: PaldbScheme) -> Program {
         .trust(reader_trust)
         .method(empty_ctor())
         .method(MethodDef::native("read", MethodKind::Instance, 3, vec![], db_reader_body()));
-    Program::new(
-        vec![writer, reader, trivial_main(main_trust)],
-        MethodRef::new("Main", "main"),
-    )
-    .expect("paldb program is well-formed")
+    Program::new(vec![writer, reader, trivial_main(main_trust)], MethodRef::new("Main", "main"))
+        .expect("paldb program is well-formed")
 }
 
 /// Dynamic entry points for the PalDB drivers.
@@ -267,7 +270,12 @@ fn engine_body() -> NativeFn {
         let graph = graphchi::sharder::load_meta(&backend, &dir).map_err(app_err)?;
         let working_set = graph.num_vertices as usize * 16 + graph.edge_count() as usize * 8;
         let result = ctx.compute_with(working_set, || {
-            graphchi::engine::run(&backend, &graph, &graphchi::programs::PageRank::default(), iterations)
+            graphchi::engine::run(
+                &backend,
+                &graph,
+                &graphchi::programs::PageRank::default(),
+                iterations,
+            )
         });
         let result = result.map_err(app_err)?;
         // Managed-engine execution model (see `sharder_body`).
@@ -292,11 +300,8 @@ pub fn graphchi_program(partitioned: bool) -> Program {
         .trust(engine_trust)
         .method(empty_ctor())
         .method(MethodDef::native("run", MethodKind::Instance, 2, vec![], engine_body()));
-    Program::new(
-        vec![sharder, engine, trivial_main(main_trust)],
-        MethodRef::new("Main", "main"),
-    )
-    .expect("graphchi program is well-formed")
+    Program::new(vec![sharder, engine, trivial_main(main_trust)], MethodRef::new("Main", "main"))
+        .expect("graphchi program is well-formed")
 }
 
 /// Dynamic entry points for the GraphChi drivers.
@@ -341,9 +346,13 @@ fn spec_body(workload: specjvm::Workload) -> NativeFn {
 /// An unpartitioned program wrapping one SPECjvm workload
 /// (`Bench.run()` does the allocation pressure + the kernel).
 pub fn specjvm_program(workload: specjvm::Workload) -> Program {
-    let bench = ClassDef::new("Bench")
-        .method(empty_ctor())
-        .method(MethodDef::native("run", MethodKind::Instance, 1, vec![], spec_body(workload)));
+    let bench = ClassDef::new("Bench").method(empty_ctor()).method(MethodDef::native(
+        "run",
+        MethodKind::Instance,
+        1,
+        vec![],
+        spec_body(workload),
+    ));
     Program::new(vec![bench, trivial_main(Trust::Neutral)], MethodRef::new("Main", "main"))
         .expect("specjvm program is well-formed")
 }
@@ -381,18 +390,15 @@ pub fn synthetic_program(n_classes: usize, pct_untrusted: u32, kind: WorkKind) -
     for i in 0..n_classes {
         let name = format!("C{i}");
         let trust = if i < untrusted_count { Trust::Untrusted } else { Trust::Trusted };
-        classes.push(
-            ClassDef::new(&name)
-                .trust(trust)
-                .method(empty_ctor())
-                .method(MethodDef::interpreted(
-                    "work",
-                    MethodKind::Instance,
-                    0,
-                    0,
-                    vec![work_instr.clone(), Instr::Return { value: None }],
-                )),
-        );
+        classes.push(ClassDef::new(&name).trust(trust).method(empty_ctor()).method(
+            MethodDef::interpreted(
+                "work",
+                MethodKind::Instance,
+                0,
+                0,
+                vec![work_instr.clone(), Instr::Return { value: None }],
+            ),
+        ));
         main_instrs.push(Instr::New { dst: 0, class: name.clone(), args: vec![] });
         main_instrs.push(Instr::Call {
             dst: None,
@@ -410,8 +416,7 @@ pub fn synthetic_program(n_classes: usize, pct_untrusted: u32, kind: WorkKind) -
         1,
         main_instrs,
     )));
-    Program::new(classes, MethodRef::new("Main", "main"))
-        .expect("synthetic program is well-formed")
+    Program::new(classes, MethodRef::new("Main", "main")).expect("synthetic program is well-formed")
 }
 
 #[cfg(test)]

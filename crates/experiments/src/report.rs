@@ -33,12 +33,8 @@ impl Series {
 
 /// Pointwise mean ratio `a/b` over series with matching x values.
 pub fn mean_ratio(a: &Series, b: &Series) -> f64 {
-    let pairs: Vec<(f64, f64)> = a
-        .points
-        .iter()
-        .zip(&b.points)
-        .map(|(&(_, ya), &(_, yb))| (ya, yb))
-        .collect();
+    let pairs: Vec<(f64, f64)> =
+        a.points.iter().zip(&b.points).map(|(&(_, ya), &(_, yb))| (ya, yb)).collect();
     if pairs.is_empty() {
         return f64::NAN;
     }
@@ -54,7 +50,8 @@ pub fn print_figure(title: &str, xlabel: &str, series: &[Series]) {
         print!("  {:>18}", s.label);
     }
     println!();
-    let xs: Vec<f64> = series.first().map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
+    let xs: Vec<f64> =
+        series.first().map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
     for (i, x) in xs.iter().enumerate() {
         print!("{x:>16.0}");
         for s in series {

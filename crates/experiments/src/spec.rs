@@ -84,10 +84,7 @@ pub fn table1(runs: &[SpecRun]) -> Vec<Table1Row> {
                     .map(|r| r.seconds)
                     .expect("fig12 covers all cells")
             };
-            Table1Row {
-                workload,
-                gain: find(Deployment::SconeJvm) / find(Deployment::SgxNative),
-            }
+            Table1Row { workload, gain: find(Deployment::SconeJvm) / find(Deployment::SgxNative) }
         })
         .collect()
 }

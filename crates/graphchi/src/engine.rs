@@ -159,7 +159,8 @@ mod tests {
 
     #[test]
     fn engine_counts_reads() {
-        let edges: Vec<Edge> = (0..1000u32).map(|i| Edge { src: i % 50, dst: (i * 7) % 50 }).collect();
+        let edges: Vec<Edge> =
+            (0..1000u32).map(|i| Edge { src: i % 50, dst: (i * 7) % 50 }).collect();
         let edges: Vec<Edge> = edges.into_iter().filter(|e| e.src != e.dst).collect();
         let dir = temp_dir("reads");
         let g = shard(&Backend::Host, &dir, 50, &edges, 4).unwrap();

@@ -113,10 +113,7 @@ mod tests {
         let deg = out_degrees(4096, &edges);
         let max = *deg.iter().max().unwrap();
         let mean = 40_000.0 / 4096.0;
-        assert!(
-            (max as f64) > 10.0 * mean,
-            "rmat should be skewed: max {max}, mean {mean:.1}"
-        );
+        assert!((max as f64) > 10.0 * mean, "rmat should be skewed: max {max}, mean {mean:.1}");
     }
 
     #[test]

@@ -317,8 +317,7 @@ mod tests {
 
     #[test]
     fn out_degrees_travel_with_the_graph() {
-        let edges =
-            vec![Edge { src: 0, dst: 1 }, Edge { src: 0, dst: 2 }, Edge { src: 1, dst: 0 }];
+        let edges = vec![Edge { src: 0, dst: 1 }, Edge { src: 0, dst: 2 }, Edge { src: 1, dst: 0 }];
         let dir = temp_dir("deg");
         let g = shard(&Backend::Host, &dir, 3, &edges, 2).unwrap();
         assert_eq!(g.out_degrees, vec![2, 1, 0]);

@@ -38,8 +38,7 @@ impl StoreReader {
         file.read_exact(&mut data)?;
 
         let footer = &data[len - FOOTER_LEN..];
-        let index_offset =
-            u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes")) as usize;
+        let index_offset = u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes")) as usize;
         let n_records = u64::from_le_bytes(footer[8..16].try_into().expect("8 bytes"));
         let magic = u64::from_le_bytes(footer[16..24].try_into().expect("8 bytes"));
         if magic != MAGIC {
@@ -48,9 +47,8 @@ impl StoreReader {
         if index_offset + 8 > len - FOOTER_LEN {
             return Err(StoreError::Corrupt("index offset out of range".into()));
         }
-        let n_slots = u64::from_le_bytes(
-            data[index_offset..index_offset + 8].try_into().expect("8 bytes"),
-        );
+        let n_slots =
+            u64::from_le_bytes(data[index_offset..index_offset + 8].try_into().expect("8 bytes"));
         if !n_slots.is_power_of_two()
             || index_offset + 8 + (n_slots as usize) * SLOT_LEN > len - FOOTER_LEN
         {
@@ -91,7 +89,8 @@ impl StoreReader {
                 return Ok(None);
             }
             if slot_hash == hash {
-                let (k, v) = decode_record(&self.data[..self.index_offset], (slot_off - 1) as usize)?;
+                let (k, v) =
+                    decode_record(&self.data[..self.index_offset], (slot_off - 1) as usize)?;
                 if k == key {
                     return Ok(Some(v.to_vec()));
                 }

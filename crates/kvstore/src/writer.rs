@@ -57,13 +57,7 @@ impl StoreWriter {
     pub fn create(backend: &Backend, path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
         let file = backend.create(&path)?;
-        Ok(StoreWriter {
-            file,
-            path,
-            entries: Vec::new(),
-            offset: 0,
-            stats: WriteStats::default(),
-        })
+        Ok(StoreWriter { file, path, entries: Vec::new(), offset: 0, stats: WriteStats::default() })
     }
 
     /// The store file's path.

@@ -43,8 +43,7 @@ impl Reachability {
 /// belong to the other image; cross-image edges flow through relay entry
 /// points instead, as in Fig. 2 of the paper).
 pub fn analyze(classes: &[ClassDef], entry_points: &[MethodRef]) -> Reachability {
-    let by_name: HashMap<&str, &ClassDef> =
-        classes.iter().map(|c| (c.name.as_str(), c)).collect();
+    let by_name: HashMap<&str, &ClassDef> = classes.iter().map(|c| (c.name.as_str(), c)).collect();
 
     let mut reach = Reachability::default();
     let mut queue: VecDeque<MethodRef> = VecDeque::new();

@@ -203,8 +203,15 @@ pub use crate::exec::ctx::Ctx;
 ///
 /// Receives the execution context, the receiver (for instance methods),
 /// and the argument values; returns the method result.
-pub type NativeFn =
-    Arc<dyn for<'a> Fn(&mut Ctx<'a>, Option<runtime_sim::value::ObjId>, &[Value]) -> Result<Value, crate::error::VmError> + Send + Sync>;
+pub type NativeFn = Arc<
+    dyn for<'a> Fn(
+            &mut Ctx<'a>,
+            Option<runtime_sim::value::ObjId>,
+            &[Value],
+        ) -> Result<Value, crate::error::VmError>
+        + Send
+        + Sync,
+>;
 
 /// A method body.
 #[derive(Clone)]
@@ -312,8 +319,7 @@ impl MethodDef {
             for instr in instrs {
                 match instr {
                     Instr::New { class, .. } => edges.push(MethodRef::new(class.clone(), CTOR)),
-                    Instr::Call { class, method, .. }
-                    | Instr::CallStatic { class, method, .. } => {
+                    Instr::Call { class, method, .. } | Instr::CallStatic { class, method, .. } => {
                         edges.push(MethodRef::new(class.clone(), method.clone()));
                     }
                     _ => {}
@@ -458,9 +464,7 @@ impl Program {
             }
         }
         // Main must exist and be static.
-        let main_class = names
-            .get(self.main.class.as_str())
-            .ok_or(BuildError::MissingMain)?;
+        let main_class = names.get(self.main.class.as_str()).ok_or(BuildError::MissingMain)?;
         match main_class.find_method(&self.main.method) {
             Some(m) if m.kind == MethodKind::Static => Ok(()),
             _ => Err(BuildError::MissingMain),
@@ -473,7 +477,13 @@ mod tests {
     use super::*;
 
     fn static_main() -> MethodDef {
-        MethodDef::interpreted("main", MethodKind::Static, 0, 0, vec![Instr::Return { value: None }])
+        MethodDef::interpreted(
+            "main",
+            MethodKind::Static,
+            0,
+            0,
+            vec![Instr::Return { value: None }],
+        )
     }
 
     #[test]
@@ -514,8 +524,7 @@ mod tests {
 
     #[test]
     fn missing_or_nonstatic_main_rejected() {
-        let err =
-            Program::new(vec![ClassDef::new("A")], MethodRef::new("A", "main")).unwrap_err();
+        let err = Program::new(vec![ClassDef::new("A")], MethodRef::new("A", "main")).unwrap_err();
         assert_eq!(err, BuildError::MissingMain);
 
         let inst_main = ClassDef::new("A").method(MethodDef::interpreted(
@@ -545,17 +554,18 @@ mod tests {
                     method: "go".into(),
                     args: vec![],
                 },
-                Instr::CallStatic { dst: None, class: "C".into(), method: "s".into(), args: vec![] },
+                Instr::CallStatic {
+                    dst: None,
+                    class: "C".into(),
+                    method: "s".into(),
+                    args: vec![],
+                },
             ],
         );
         let edges = m.call_edges();
         assert_eq!(
             edges,
-            vec![
-                MethodRef::new("B", CTOR),
-                MethodRef::new("B", "go"),
-                MethodRef::new("C", "s"),
-            ]
+            vec![MethodRef::new("B", CTOR), MethodRef::new("B", "go"), MethodRef::new("C", "s"),]
         );
     }
 

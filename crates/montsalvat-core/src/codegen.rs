@@ -46,11 +46,8 @@ fn render_bridges(edl: &EdlSpec, direction: Direction) -> String {
     out.push('\n');
     out.push_str("#include \"montsalvat_edge.h\"\n\n");
     for f in fns {
-        let params: Vec<String> = f
-            .params
-            .iter()
-            .map(|p| format!("{} {}", c_type(&p.ty), p.name))
-            .collect();
+        let params: Vec<String> =
+            f.params.iter().map(|p| format!("{} {}", c_type(&p.ty), p.name)).collect();
         out.push_str(&format!(
             "void {name}({params}) {{\n    graal_isolate_t* ctx = get_{isolate}_isolate();\n    {relay}(ctx, {args});\n}}\n\n",
             name = f.name,

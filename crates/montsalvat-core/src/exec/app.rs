@@ -87,11 +87,9 @@ impl Default for AppConfig {
 /// recorder if one was provided.
 fn cost_model(config: &AppConfig) -> Arc<CostModel> {
     Arc::new(match &config.telemetry {
-        Some(rec) => CostModel::with_recorder(
-            config.cost_params.clone(),
-            config.clock_mode,
-            Arc::clone(rec),
-        ),
+        Some(rec) => {
+            CostModel::with_recorder(config.cost_params.clone(), config.clock_mode, Arc::clone(rec))
+        }
         None => CostModel::new(config.cost_params.clone(), config.clock_mode),
     })
 }
@@ -182,10 +180,7 @@ fn restore_image_heap(image: &NativeImage, world: &Arc<World>) -> Result<(), VmE
     if image.image_heap.object_count() == 0 {
         return Ok(());
     }
-    world
-        .isolate
-        .with_heap(|h| image.image_heap.restore_into(h))
-        .map_err(VmError::OutOfMemory)?;
+    world.isolate.with_heap(|h| image.image_heap.restore_into(h)).map_err(VmError::OutOfMemory)?;
     Ok(())
 }
 
@@ -235,11 +230,10 @@ impl PartitionedApp {
         untrusted_image: &NativeImage,
         config: AppConfig,
     ) -> Result<Self, VmError> {
-        if trusted_image.side != Some(Side::Trusted) || untrusted_image.side != Some(Side::Untrusted)
+        if trusted_image.side != Some(Side::Trusted)
+            || untrusted_image.side != Some(Side::Untrusted)
         {
-            return Err(VmError::Type(
-                "launch requires a (trusted, untrusted) image pair".into(),
-            ));
+            return Err(VmError::Type("launch requires a (trusted, untrusted) image pair".into()));
         }
         let cost = cost_model(&config);
         let enclave = Enclave::create(
@@ -305,7 +299,11 @@ impl PartitionedApp {
                     crate::exec::ctx::serve_relay(&serve_shared, &callee, class_name, relay, msg)
                 },
             );
-            let pool = crate::exec::switchless::SwitchlessPool::spawn(sw_config, serve);
+            let pool = crate::exec::switchless::SwitchlessPool::spawn(
+                sw_config,
+                serve,
+                Arc::clone(&shared.cost),
+            );
             *shared.switchless.lock() = Some(Arc::new(pool));
         }
 
@@ -405,6 +403,12 @@ impl PartitionedApp {
     /// RMI counters for one world.
     pub fn world_stats(&self, side: Side) -> WorldStatsSnapshot {
         self.shared.world(side).stats.snapshot()
+    }
+
+    /// Live worker/queue readings of the adaptive switchless engine,
+    /// or `None` when the application runs classic crossings.
+    pub fn switchless_stats(&self) -> Option<crate::exec::switchless::SwitchlessStats> {
+        self.shared.switchless.lock().as_ref().map(|pool| pool.stats())
     }
 
     /// Number of live mirrors registered in `side`'s registry.
@@ -556,8 +560,7 @@ impl SingleWorldApp {
         f: impl FnOnce(&mut Ctx<'_>) -> Result<R, VmError>,
     ) -> Result<R, VmError> {
         let run = || {
-            let mut ctx =
-                Ctx::new(&self.shared, Arc::clone(self.shared.world(Side::Untrusted)));
+            let mut ctx = Ctx::new(&self.shared, Arc::clone(self.shared.world(Side::Untrusted)));
             f(&mut ctx)
         };
         match self.placement {

@@ -42,6 +42,7 @@ use crate::class::{ClassRole, MethodBody, MethodDef, MethodKind, CTOR};
 use crate::error::VmError;
 use crate::exec::app::AppShared;
 use crate::exec::interp;
+use crate::exec::switchless::PostOutcome;
 use crate::exec::world::{ClassInfo, IoFile, World};
 use crate::transform::{edge_routine_name, relay_name};
 
@@ -524,15 +525,16 @@ fn marshal(app: &AppShared, world: &World, values: &[Value]) -> Result<WireMsg, 
     }
 
     // Pass 3: encode with a pure policy.
-    let payload = {
-        let heap = world.isolate.lock_heap();
-        codec::encode_value(&heap, &Value::List(values.to_vec()), &mut |id| {
-            match hash_map.get(&id) {
+    let payload =
+        {
+            let heap = world.isolate.lock_heap();
+            codec::encode_value(&heap, &Value::List(values.to_vec()), &mut |id| match hash_map
+                .get(&id)
+            {
                 Some(&h) => Ok(RefEncoding::Hash(h)),
                 None => Ok(RefEncoding::Inline),
-            }
-        })?
-    };
+            })?
+        };
     // Serialization walks the object graph; inside the enclave every
     // read goes through the MEE, hence the enclave factor on encode.
     charge_serde(app, world, payload.len(), true);
@@ -813,29 +815,42 @@ fn cross_call(
     );
     let wire_len = msg.wire_len();
 
-    // Switchless mode (§7 future work): post to the opposite side's
-    // resident worker instead of performing a hardware transition.
-    let pool = app.switchless.lock().clone();
-    let switchless_used = pool.is_some();
-    let ret_msg = if let Some(pool) = pool {
-        let params = app.cost.params();
-        // Hand-off + the boundary copy; no transition, no relay stack.
-        app.cost.charge_ns(
-            params.switchless_call_ns
-                + (wire_len as f64 * params.copy_ns_per_byte) as u64,
-        );
-        caller.stats.count_switchless();
-        pool.call(trust, class_name.to_owned(), relay.to_owned(), recv_hash, msg.clone())?
-    } else {
-        // The relay software itself (isolate attach, edge-routine
-        // marshalling, registry work) on top of the raw transition.
+    // The classic crossing: the relay software itself (isolate attach,
+    // edge-routine marshalling, registry work) on top of the raw
+    // hardware transition. Also the target the adaptive switchless
+    // engine degrades to when its mailbox is full.
+    let classic = || -> Result<WireMsg, VmError> {
         app.cost.charge_ns(app.cost.params().relay_overhead_ns);
         let serve = || serve_relay(app, &callee, class_name, relay, &msg);
         let served: Result<WireMsg, VmError> = match trust {
             Side::Trusted => app.enclave.ecall(&routine, wire_len, serve)?,
             Side::Untrusted => app.enclave.ocall(&routine, wire_len, serve)?,
         };
-        served?
+        served
+    };
+
+    // Switchless mode (§7 future work): post to the opposite side's
+    // resident worker instead of performing a hardware transition. The
+    // engine charges the hand-off on a hit (the serving worker adds
+    // the wake and batched boundary copy) or the failed-probe
+    // surcharge on a fallback, which then pays the classic crossing
+    // on top.
+    let pool = app.switchless.lock().clone();
+    let mut switchless_hit = false;
+    let ret_msg = if let Some(pool) = pool {
+        match pool.post(trust, class_name.to_owned(), relay.to_owned(), recv_hash, msg.clone())? {
+            PostOutcome::Served(served) => {
+                switchless_hit = true;
+                caller.stats.count_switchless();
+                served?
+            }
+            PostOutcome::Fallback => {
+                caller.stats.count_switchless_fallback();
+                classic()?
+            }
+        }
+    } else {
+        classic()?
     };
 
     // Decode the return value in the caller's world.
@@ -847,11 +862,10 @@ fn cross_call(
     // transition or worker hand-off, relay work, unmarshal) as a
     // charged-time delta, split by crossing flavour.
     let span_ns = app.cost.charged().saturating_sub(charged_at_entry).as_nanos() as u64;
-    let hist = if switchless_used {
-        telemetry::Hist::SwitchlessCallNs
-    } else {
-        telemetry::Hist::RmiCallNs
-    };
+    // A fallback is a classic crossing (plus the probe surcharge), so
+    // it records into the classic histogram.
+    let hist =
+        if switchless_hit { telemetry::Hist::SwitchlessCallNs } else { telemetry::Hist::RmiCallNs };
     app.cost.recorder().record(hist, span_ns);
     Ok(ret)
 }

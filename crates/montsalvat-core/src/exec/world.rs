@@ -142,6 +142,7 @@ impl ExecModel {
 pub struct WorldStats {
     rmi_calls: AtomicU64,
     switchless_calls: AtomicU64,
+    switchless_fallbacks: AtomicU64,
     bytes_serialized: AtomicU64,
     proxies_created: AtomicU64,
     mirrors_created: AtomicU64,
@@ -155,6 +156,9 @@ pub struct WorldStatsSnapshot {
     pub rmi_calls: u64,
     /// Subset of `rmi_calls` served switchlessly (no transition).
     pub switchless_calls: u64,
+    /// Subset of `rmi_calls` that attempted a switchless post, found
+    /// the mailbox full and fell back to a classic crossing.
+    pub switchless_fallbacks: u64,
     /// Bytes serialized for crossings initiated from this world.
     pub bytes_serialized: u64,
     /// Proxy objects created in this world.
@@ -180,6 +184,12 @@ impl WorldStats {
         }
     }
 
+    /// No recorder mirror here: the switchless engine already counts
+    /// `rmi.switchless_fallbacks` at the mailbox probe that failed.
+    pub(crate) fn count_switchless_fallback(&self) {
+        self.switchless_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn count_proxy(&self) {
         self.proxies_created.fetch_add(1, Ordering::Relaxed);
         if let Some(rec) = self.recorder.get() {
@@ -199,6 +209,7 @@ impl WorldStats {
         WorldStatsSnapshot {
             rmi_calls: self.rmi_calls.load(Ordering::Relaxed),
             switchless_calls: self.switchless_calls.load(Ordering::Relaxed),
+            switchless_fallbacks: self.switchless_fallbacks.load(Ordering::Relaxed),
             bytes_serialized: self.bytes_serialized.load(Ordering::Relaxed),
             proxies_created: self.proxies_created.load(Ordering::Relaxed),
             mirrors_created: self.mirrors_created.load(Ordering::Relaxed),
@@ -318,8 +329,7 @@ impl World {
         let isolate = Isolate::new(side.name(), heap_config);
         if in_enclave {
             let enclave = enclave.expect("in-enclave world requires an enclave");
-            let charger =
-                EnclaveHeapCharger::new(Arc::clone(enclave), exec_model.gc_copy_factor);
+            let charger = EnclaveHeapCharger::new(Arc::clone(enclave), exec_model.gc_copy_factor);
             isolate.with_heap(|h| h.set_observer(Arc::new(charger)));
         }
         Arc::new(World {

@@ -276,11 +276,8 @@ mod tests {
         // closed-world analysis.
         assert!(image.class("StringUtil").is_none());
         // No relays/proxies in unpartitioned builds.
-        assert!(image
-            .classes
-            .iter()
-            .all(|c| c.role == ClassRole::Concrete
-                && c.methods.iter().all(|m| !crate::transform::is_relay_name(&m.name))));
+        assert!(image.classes.iter().all(|c| c.role == ClassRole::Concrete
+            && c.methods.iter().all(|m| !crate::transform::is_relay_name(&m.name))));
     }
 
     #[test]

@@ -64,5 +64,7 @@ pub use class::{ClassDef, Instr, MethodDef, MethodKind, MethodRef, Operand, Prog
 pub use error::{BuildError, VmError};
 pub use exec::app::{AppConfig, PartitionedApp, Placement, SingleWorldApp};
 pub use exec::ctx::Ctx;
-pub use image_builder::{build_partitioned_images, build_unpartitioned_image, ImageOptions, NativeImage};
+pub use image_builder::{
+    build_partitioned_images, build_unpartitioned_image, ImageOptions, NativeImage,
+};
 pub use transform::{transform, TransformedProgram};

@@ -252,11 +252,8 @@ pub fn bank_program() -> Program {
         ],
     ));
 
-    Program::new(
-        vec![account, registry, person, main, string_util],
-        MethodRef::new("Main", "main"),
-    )
-    .expect("bank program is well-formed")
+    Program::new(vec![account, registry, person, main, string_util], MethodRef::new("Main", "main"))
+        .expect("bank program is well-formed")
 }
 
 #[cfg(test)]

@@ -115,13 +115,7 @@ pub fn transform(program: &Program) -> TransformedProgram {
         }
     }
 
-    TransformedProgram {
-        trusted_set,
-        untrusted_set,
-        neutral_set,
-        main: program.main.clone(),
-        edl,
-    }
+    TransformedProgram { trusted_set, untrusted_set, neutral_set, main: program.main.clone(), edl }
 }
 
 /// Clones `class` and injects one relay method per original method.
@@ -224,8 +218,11 @@ mod tests {
     #[test]
     fn proxies_are_stripped_to_hash_and_transitions() {
         let tp = transform(&bank_program());
-        let proxy_account =
-            tp.untrusted_set.iter().find(|c| c.name == "Account" && c.role == ClassRole::Proxy).unwrap();
+        let proxy_account = tp
+            .untrusted_set
+            .iter()
+            .find(|c| c.name == "Account" && c.role == ClassRole::Proxy)
+            .unwrap();
         assert_eq!(proxy_account.fields, vec![PROXY_HASH_FIELD.to_owned()]);
         for m in &proxy_account.methods {
             match &m.body {
@@ -241,8 +238,11 @@ mod tests {
     #[test]
     fn relays_are_static_and_target_their_method() {
         let tp = transform(&bank_program());
-        let account =
-            tp.trusted_set.iter().find(|c| c.name == "Account" && c.role == ClassRole::Concrete).unwrap();
+        let account = tp
+            .trusted_set
+            .iter()
+            .find(|c| c.name == "Account" && c.role == ClassRole::Concrete)
+            .unwrap();
         let relay = account.find_method(&relay_name("updateBalance")).unwrap();
         assert_eq!(relay.kind, MethodKind::Static);
         match &relay.body {
@@ -290,7 +290,8 @@ mod tests {
         assert_eq!(trusted_entries.len(), 6);
         assert!(trusted_entries
             .iter()
-            .all(|e| is_relay_name(&e.method) && (e.class == "Account" || e.class == "AccountRegistry")));
+            .all(|e| is_relay_name(&e.method)
+                && (e.class == "Account" || e.class == "AccountRegistry")));
     }
 
     #[test]

@@ -73,12 +73,8 @@ fn launch() -> PartitionedApp {
     let tp = transform(&boxes_program());
     let options = ImageOptions::with_entry_points(entries());
     let (t, u) = build_partitioned_images(&tp, &options, &options).unwrap();
-    PartitionedApp::launch(
-        &t,
-        &u,
-        AppConfig { gc_helper_interval: None, ..AppConfig::default() },
-    )
-    .unwrap()
+    PartitionedApp::launch(&t, &u, AppConfig { gc_helper_interval: None, ..AppConfig::default() })
+        .unwrap()
 }
 
 #[test]
@@ -124,8 +120,7 @@ fn annotated_refs_nested_in_neutral_structure_cross_correctly() {
             let inner = ctx.new_object("TBox", &[])?;
             ctx.call(&inner, "set", &[Value::Int(99)])?;
             let holder = ctx.new_object("TBox", &[])?;
-            let bundle =
-                Value::List(vec![Value::Int(1), inner.clone(), Value::from("tag")]);
+            let bundle = Value::List(vec![Value::Int(1), inner.clone(), Value::from("tag")]);
             ctx.call(&holder, "set", &[bundle])?;
             // Read the bundle back and call through the nested proxy.
             let back = ctx.call(&holder, "get", &[])?;

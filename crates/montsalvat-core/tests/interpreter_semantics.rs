@@ -15,9 +15,13 @@ use runtime_sim::value::Value;
 fn app_with(body: Vec<Instr>, params: usize, locals: usize) -> SingleWorldApp {
     let class = ClassDef::new("T")
         .field("f")
-        .method(MethodDef::interpreted(CTOR, MethodKind::Constructor, 0, 0, vec![
-            Instr::Return { value: None },
-        ]))
+        .method(MethodDef::interpreted(
+            CTOR,
+            MethodKind::Constructor,
+            0,
+            0,
+            vec![Instr::Return { value: None }],
+        ))
         .method(MethodDef::interpreted("run", MethodKind::Static, params, locals, body))
         .method(MethodDef::interpreted(
             "id",

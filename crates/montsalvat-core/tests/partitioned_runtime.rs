@@ -138,9 +138,7 @@ fn gc_consistency_proxy_death_releases_mirror() {
     assert_eq!(app.registry_len(Side::Trusted), 0);
 
     // The mirrors are now collectable in the enclave.
-    let reclaimed = app
-        .enter_trusted(|ctx| Ok(ctx.collect_garbage().reclaimed))
-        .unwrap();
+    let reclaimed = app.enter_trusted(|ctx| Ok(ctx.collect_garbage().reclaimed)).unwrap();
     assert!(reclaimed >= 16, "mirrors reclaimed, got {reclaimed}");
 }
 
@@ -164,7 +162,7 @@ fn live_proxies_keep_their_mirrors() {
     app2.enter_untrusted(|ctx| {
         let p = ctx.new_object("Person", &[Value::from("Live"), Value::Int(5)])?;
         ctx.collect_garbage(); // proxy still rooted by the frame
-        // Nothing may be released while the proxy lives.
+                               // Nothing may be released while the proxy lives.
         let _: () = drop(p);
         Ok(())
     })
@@ -178,10 +176,8 @@ fn live_proxies_keep_their_mirrors() {
 
 #[test]
 fn gc_helper_threads_release_mirrors_automatically() {
-    let config = AppConfig {
-        gc_helper_interval: Some(Duration::from_millis(10)),
-        ..AppConfig::default()
-    };
+    let config =
+        AppConfig { gc_helper_interval: Some(Duration::from_millis(10)), ..AppConfig::default() };
     let app = launch_bank(config);
     app.enter_untrusted(|ctx| {
         for i in 0..8 {

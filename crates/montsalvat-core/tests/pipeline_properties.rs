@@ -39,10 +39,8 @@ fn build_program(spec: &ProgramSpec) -> Program {
             1 => Trust::Untrusted,
             _ => Trust::Neutral,
         };
-        let mut class = ClassDef::new(format!("C{i}"))
-            .trust(trust)
-            .field("f")
-            .method(MethodDef::interpreted(
+        let mut class =
+            ClassDef::new(format!("C{i}")).trust(trust).field("f").method(MethodDef::interpreted(
                 CTOR,
                 MethodKind::Constructor,
                 0,
@@ -67,25 +65,23 @@ fn build_program(spec: &ProgramSpec) -> Program {
         }
         classes.push(class);
     }
-    classes.push(ClassDef::new("Main").trust(Trust::Untrusted).method(
-        MethodDef::interpreted(
-            "main",
-            MethodKind::Static,
-            0,
-            1,
-            vec![
-                Instr::New { dst: 0, class: "C0".into(), args: vec![] },
-                Instr::Call {
-                    dst: None,
-                    class: "C0".into(),
-                    recv: Operand::Local(0),
-                    method: "m0".into(),
-                    args: vec![],
-                },
-                Instr::Return { value: None },
-            ],
-        ),
-    ));
+    classes.push(ClassDef::new("Main").trust(Trust::Untrusted).method(MethodDef::interpreted(
+        "main",
+        MethodKind::Static,
+        0,
+        1,
+        vec![
+            Instr::New { dst: 0, class: "C0".into(), args: vec![] },
+            Instr::Call {
+                dst: None,
+                class: "C0".into(),
+                recv: Operand::Local(0),
+                method: "m0".into(),
+                args: vec![],
+            },
+            Instr::Return { value: None },
+        ],
+    )));
     Program::new(classes, MethodRef::new("Main", "main")).expect("spec produces valid programs")
 }
 

@@ -1,0 +1,161 @@
+//! Batched wire frames for switchless crossings.
+//!
+//! A switchless worker that drains several queued requests in one
+//! wakeup moves them across the boundary as one *batch frame* instead
+//! of one message per request: a fixed frame header, then each
+//! payload length-prefixed. Framing `k` messages together amortises
+//! the per-message boundary bookkeeping — the cost model charges the
+//! boundary copy once per frame, so a drained batch pays one header
+//! instead of `k`.
+//!
+//! The format is deliberately minimal and self-describing:
+//!
+//! ```text
+//! magic  (2 bytes)  0x4D 0x42          "MB"
+//! count  (4 bytes)  u32 little-endian  number of payloads
+//! k × [ len (4 bytes, u32 LE) | payload bytes ]
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use rmi::batch;
+//!
+//! let frame = batch::encode(&[b"first".as_slice(), b"second".as_slice()]);
+//! assert_eq!(frame.len(), batch::frame_len(&[5, 6]));
+//! let decoded = batch::decode(&frame).unwrap();
+//! assert_eq!(decoded, vec![b"first".to_vec(), b"second".to_vec()]);
+//! ```
+
+/// The two magic bytes opening every batch frame.
+pub const MAGIC: [u8; 2] = *b"MB";
+
+/// Fixed overhead of one frame: magic plus the payload count.
+pub const HEADER_LEN: usize = 6;
+
+/// Per-payload overhead inside a frame (the length prefix).
+pub const PER_PAYLOAD_LEN: usize = 4;
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// The buffer does not start with [`MAGIC`] or is shorter than a
+    /// frame header.
+    BadHeader,
+    /// A length prefix points past the end of the buffer.
+    Truncated,
+    /// Bytes remain after the declared payloads.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::BadHeader => write!(f, "batch frame has a bad header"),
+            BatchError::Truncated => write!(f, "batch frame is truncated"),
+            BatchError::TrailingBytes => write!(f, "batch frame has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Total wire bytes of a frame holding payloads of the given lengths,
+/// computed without materialising it. This is what the switchless
+/// engine charges boundary-copy costs on.
+pub fn frame_len(payload_lens: &[usize]) -> usize {
+    HEADER_LEN + payload_lens.iter().map(|l| PER_PAYLOAD_LEN + l).sum::<usize>()
+}
+
+/// Encodes `payloads` into one batch frame.
+pub fn encode(payloads: &[&[u8]]) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(frame_len(&payloads.iter().map(|p| p.len()).collect::<Vec<_>>()));
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    for p in payloads {
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Decodes a batch frame back into its payloads.
+///
+/// # Errors
+///
+/// Fails on a missing/foreign header, a length prefix running past the
+/// buffer, or trailing bytes after the declared payload count.
+pub fn decode(frame: &[u8]) -> Result<Vec<Vec<u8>>, BatchError> {
+    if frame.len() < HEADER_LEN || frame[..2] != MAGIC {
+        return Err(BatchError::BadHeader);
+    }
+    let count = u32::from_le_bytes(frame[2..6].try_into().expect("4 bytes")) as usize;
+    let mut payloads = Vec::with_capacity(count.min(1024));
+    let mut at = HEADER_LEN;
+    for _ in 0..count {
+        if frame.len() < at + PER_PAYLOAD_LEN {
+            return Err(BatchError::Truncated);
+        }
+        let len = u32::from_le_bytes(frame[at..at + PER_PAYLOAD_LEN].try_into().expect("4 bytes"))
+            as usize;
+        at += PER_PAYLOAD_LEN;
+        if frame.len() < at + len {
+            return Err(BatchError::Truncated);
+        }
+        payloads.push(frame[at..at + len].to_vec());
+        at += len;
+    }
+    if at != frame.len() {
+        return Err(BatchError::TrailingBytes);
+    }
+    Ok(payloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let frame = encode(&[]);
+        assert_eq!(frame.len(), HEADER_LEN);
+        assert_eq!(decode(&frame).unwrap(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn frame_len_matches_encode() {
+        let payloads: Vec<Vec<u8>> = vec![vec![1; 3], vec![], vec![9; 300]];
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let lens: Vec<usize> = payloads.iter().map(|p| p.len()).collect();
+        assert_eq!(encode(&refs).len(), frame_len(&lens));
+    }
+
+    #[test]
+    fn batching_amortises_headers() {
+        // k messages in one frame must cost less wire than k frames.
+        let lens = [64usize, 64, 64, 64];
+        let batched = frame_len(&lens);
+        let separate: usize = lens.iter().map(|&l| frame_len(&[l])).sum();
+        assert!(batched < separate, "batched {batched} vs separate {separate}");
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        assert_eq!(decode(b"XX\0\0\0\0"), Err(BatchError::BadHeader));
+        assert_eq!(decode(b"MB"), Err(BatchError::BadHeader));
+        let mut frame = encode(&[b"abc".as_slice()]);
+        frame.truncate(frame.len() - 1);
+        assert_eq!(decode(&frame), Err(BatchError::Truncated));
+        let mut padded = encode(&[b"abc".as_slice()]);
+        padded.push(0);
+        assert_eq!(decode(&padded), Err(BatchError::TrailingBytes));
+    }
+
+    #[test]
+    fn payload_order_is_preserved() {
+        let frame = encode(&[b"a".as_slice(), b"bb".as_slice(), b"ccc".as_slice()]);
+        let decoded = decode(&frame).unwrap();
+        assert_eq!(decoded, vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]);
+    }
+}

@@ -306,10 +306,7 @@ fn decode_inner(
         }
         TAG_BACKREF => {
             let idx = cur.u32()?;
-            let id = allocated
-                .get(idx as usize)
-                .copied()
-                .ok_or(CodecError::BadBackRef(idx))?;
+            let id = allocated.get(idx as usize).copied().ok_or(CodecError::BadBackRef(idx))?;
             Ok(Value::Ref(id))
         }
         TAG_HASHREF => {
@@ -386,9 +383,7 @@ mod tests {
     fn shared_substructure_is_preserved() {
         let mut src = heap();
         let shared = src.alloc(ClassId(1), vec![Value::Int(9)]).unwrap();
-        let top = src
-            .alloc(ClassId(2), vec![Value::Ref(shared), Value::Ref(shared)])
-            .unwrap();
+        let top = src.alloc(ClassId(2), vec![Value::Ref(shared), Value::Ref(shared)]).unwrap();
         src.add_root(top);
 
         let mut dst = heap();
@@ -421,10 +416,9 @@ mod tests {
         let trusted = src.alloc(ClassId(9), vec![]).unwrap();
         src.add_root(trusted);
         let the_hash = ProxyHash(0xdead_beef);
-        let bytes = encode_value(&src, &Value::Ref(trusted), &mut |_id| {
-            Ok(RefEncoding::Hash(the_hash))
-        })
-        .unwrap();
+        let bytes =
+            encode_value(&src, &Value::Ref(trusted), &mut |_id| Ok(RefEncoding::Hash(the_hash)))
+                .unwrap();
 
         let mut dst = heap();
         let mirror = dst.alloc(ClassId(9), vec![]).unwrap();

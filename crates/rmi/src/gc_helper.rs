@@ -126,8 +126,7 @@ mod tests {
     #[test]
     fn recorded_helper_counts_sweeps() {
         let rec = telemetry::Recorder::new();
-        let helper =
-            GcHelper::spawn_recorded("t", Duration::from_millis(1), rec.clone(), || {});
+        let helper = GcHelper::spawn_recorded("t", Duration::from_millis(1), rec.clone(), || {});
         std::thread::sleep(Duration::from_millis(30));
         helper.stop();
         let sweeps = rec.counter(telemetry::Counter::GcHelperSweeps);

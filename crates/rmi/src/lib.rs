@@ -11,6 +11,9 @@
 //! - [`codec`] — the wire format that deep-copies neutral objects,
 //!   preserves shared substructure/cycles, and hash-references
 //!   annotated objects;
+//! - [`batch`] — batched wire frames: several queued switchless
+//!   requests cross the boundary as one length-prefixed frame, so a
+//!   worker wakeup that drains a batch pays one frame header;
 //! - [`registry`] — the mirror-proxy registry holding strong references
 //!   to mirror objects, keyed by proxy hash;
 //! - [`weaklist`] — the per-runtime weak-reference list of live proxies;
@@ -24,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod codec;
 pub mod gc_helper;
 pub mod hash;

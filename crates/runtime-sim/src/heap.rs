@@ -129,7 +129,11 @@ pub struct OutOfMemory {
 
 impl std::fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "managed heap exhausted: {} live bytes + {} requested", self.live_bytes, self.requested)
+        write!(
+            f,
+            "managed heap exhausted: {} live bytes + {} requested",
+            self.live_bytes, self.requested
+        )
     }
 }
 

@@ -26,8 +26,7 @@ impl ImageHeap {
     /// Call after a final [`Heap::collect`] so the snapshot holds only
     /// reachable state, as the native-image builder does.
     pub fn snapshot(heap: &Heap) -> Self {
-        let objects =
-            heap.iter().map(|(id, class, fields)| (id, class, fields.to_vec())).collect();
+        let objects = heap.iter().map(|(id, class, fields)| (id, class, fields.to_vec())).collect();
         ImageHeap { objects, roots: heap.root_ids() }
     }
 

@@ -98,8 +98,7 @@ impl EdlFn {
             Direction::Ecall => "public ",
             Direction::Ocall => "",
         };
-        let params =
-            self.params.iter().map(EdlParam::render).collect::<Vec<_>>().join(", ");
+        let params = self.params.iter().map(EdlParam::render).collect::<Vec<_>>().join(", ");
         format!("        {qualifier}{} {}({params});", self.ret, self.name)
     }
 }

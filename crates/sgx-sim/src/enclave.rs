@@ -264,7 +264,12 @@ impl Enclave {
     ///
     /// Returns [`SgxError::EnclaveLost`] if the enclave was destroyed or
     /// failure injection tripped.
-    pub fn ecall<R>(&self, _routine: &str, bytes_in: usize, f: impl FnOnce() -> R) -> Result<R, SgxError> {
+    pub fn ecall<R>(
+        &self,
+        _routine: &str,
+        bytes_in: usize,
+        f: impl FnOnce() -> R,
+    ) -> Result<R, SgxError> {
         self.check_alive()?;
         let recorder = self.cost.recorder();
         recorder.incr(Counter::Ecalls);
@@ -282,7 +287,12 @@ impl Enclave {
     ///
     /// Returns [`SgxError::EnclaveLost`] if the enclave was destroyed or
     /// failure injection tripped.
-    pub fn ocall<R>(&self, routine: &str, bytes_out: usize, f: impl FnOnce() -> R) -> Result<R, SgxError> {
+    pub fn ocall<R>(
+        &self,
+        routine: &str,
+        bytes_out: usize,
+        f: impl FnOnce() -> R,
+    ) -> Result<R, SgxError> {
         self.check_alive()?;
         let recorder = self.cost.recorder();
         recorder.incr(Counter::Ocalls);
@@ -534,9 +544,7 @@ mod tests {
         let before = e.cost().charged();
         e.run_compute(1024, || std::thread::sleep(std::time::Duration::from_millis(2)));
         assert_eq!(e.cost().charged(), before, "small working set is free");
-        e.run_compute(64 * 1024 * 1024, || {
-            std::thread::sleep(std::time::Duration::from_millis(2))
-        });
+        e.run_compute(64 * 1024 * 1024, || std::thread::sleep(std::time::Duration::from_millis(2)));
         assert!(e.cost().charged() > before, "large working set pays MEE surcharge");
     }
 }

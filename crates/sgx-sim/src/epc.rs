@@ -101,7 +101,12 @@ mod tests {
     use super::*;
 
     fn params() -> CostParams {
-        CostParams { epc_usable_bytes: 1024 * 1024, epc_page_bytes: 4096, epc_fault_ns: 40_000, ..CostParams::paper_defaults() }
+        CostParams {
+            epc_usable_bytes: 1024 * 1024,
+            epc_page_bytes: 4096,
+            epc_fault_ns: 40_000,
+            ..CostParams::paper_defaults()
+        }
     }
 
     #[test]

@@ -55,10 +55,9 @@ impl ShimFile {
     pub fn create(enclave: Arc<Enclave>, path: impl AsRef<Path>) -> Result<Self, SgxError> {
         let path = path.as_ref().to_path_buf();
         let path_bytes = path.as_os_str().len();
-        let inner = enclave
-            .ocall("shim_open", path_bytes, || {
-                OpenOptions::new().create(true).write(true).truncate(true).read(true).open(&path)
-            })??;
+        let inner = enclave.ocall("shim_open", path_bytes, || {
+            OpenOptions::new().create(true).write(true).truncate(true).read(true).open(&path)
+        })??;
         Ok(ShimFile { enclave, inner, path })
     }
 
@@ -257,9 +256,7 @@ impl IoBackend {
     pub fn create(&self, path: impl AsRef<Path>) -> Result<BackendFile, SgxError> {
         match self {
             IoBackend::Host => Ok(BackendFile::Host(HostFile::create(path)?)),
-            IoBackend::Enclave(e) => {
-                Ok(BackendFile::Shim(ShimFile::create(Arc::clone(e), path)?))
-            }
+            IoBackend::Enclave(e) => Ok(BackendFile::Shim(ShimFile::create(Arc::clone(e), path)?)),
         }
     }
 

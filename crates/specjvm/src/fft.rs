@@ -102,7 +102,8 @@ mod tests {
 
     #[test]
     fn roundtrip_recovers_input() {
-        let orig: Vec<Complex> = (0..64).map(|i| (i as f64 * 0.1, (63 - i) as f64 * -0.2)).collect();
+        let orig: Vec<Complex> =
+            (0..64).map(|i| (i as f64 * 0.1, (63 - i) as f64 * -0.2)).collect();
         let mut data = orig.clone();
         fft(&mut data);
         ifft(&mut data);

@@ -47,9 +47,7 @@ impl Matrix {
 
     /// Matrix–vector product.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        (0..self.n)
-            .map(|i| (0..self.n).map(|j| self.at(i, j) * x[j]).sum())
-            .collect()
+        (0..self.n).map(|i| (0..self.n).map(|j| self.at(i, j) * x[j]).sum()).collect()
     }
 }
 

@@ -64,8 +64,7 @@ pub fn filterbank(pcm: &[f64]) -> Vec<[f64; BANDS]> {
         for (band, out_v) in bands.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (k, partial) in z.iter().enumerate() {
-                acc += partial
-                    * ((2.0 * band as f64 + 1.0) * (k as f64 - 16.0) * PI / 64.0).cos();
+                acc += partial * ((2.0 * band as f64 + 1.0) * (k as f64 - 16.0) * PI / 64.0).cos();
             }
             *out_v = acc;
         }

@@ -116,8 +116,21 @@ metric_enum! {
         HeapAllocObjects => ("gc.alloc_objects", "objects"),
         /// Classic (relay-based) cross-world RMI invocations.
         RmiCalls => ("rmi.calls", "calls"),
-        /// RMI invocations served by switchless worker pools.
+        /// RMI invocations served by switchless worker pools (hits).
         SwitchlessCalls => ("rmi.switchless_calls", "calls"),
+        /// Switchless posts that found the mailbox full and fell back
+        /// to a classic EENTER/EEXIT crossing.
+        SwitchlessFallbacks => ("rmi.switchless_fallbacks", "calls"),
+        /// Switchless posts that found no idle worker (pressure signal
+        /// driving adaptive scale-up; the call may still be a hit).
+        SwitchlessMisses => ("rmi.switchless_misses", "calls"),
+        /// Parked switchless workers woken by an arriving job.
+        SwitchlessWorkerWakes => ("rmi.switchless_worker_wakes", "wakes"),
+        /// Adaptive scale-up events (a worker spawned under miss
+        /// pressure).
+        SwitchlessScaleUps => ("rmi.switchless_scale_ups", "events"),
+        /// Adaptive scale-down events (an idle worker retired).
+        SwitchlessScaleDowns => ("rmi.switchless_scale_downs", "events"),
         /// Payload bytes serialized for cross-world messages.
         BytesSerialized => ("rmi.bytes_serialized", "bytes"),
         /// Bytes produced by the value codec when encoding.
@@ -151,6 +164,10 @@ metric_enum! {
         HeapLiveBytesPeak => ("gc.heap_live_bytes_peak", "bytes"),
         /// Peak EPC-resident bytes committed by an enclave.
         EpcResidentPeak => ("sgx.epc_resident_peak", "bytes"),
+        /// Peak resident switchless workers on one side.
+        SwitchlessWorkersPeak => ("rmi.switchless_workers_peak", "workers"),
+        /// Peak queued jobs observed in a switchless mailbox.
+        SwitchlessQueueDepthPeak => ("rmi.switchless_queue_depth_peak", "jobs"),
     }
 }
 
@@ -165,5 +182,7 @@ metric_enum! {
         CrossingBytes => ("sgx.crossing_bytes", "bytes"),
         /// Wall-clock nanoseconds per stop-and-copy collection.
         GcPauseNs => ("gc.pause_ns", "ns"),
+        /// Jobs served per switchless worker wakeup (batch drain size).
+        SwitchlessBatchJobs => ("rmi.switchless_batch_jobs", "jobs"),
     }
 }

@@ -20,10 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = ImageOptions::with_entry_points(vec![MethodRef::new("Account", "<init>")]);
     let (trusted, untrusted) = build_partitioned_images(&tp, &options, &options)?;
     // Run with live GC helper threads scanning every 20 ms.
-    let config = AppConfig {
-        gc_helper_interval: Some(Duration::from_millis(20)),
-        ..AppConfig::default()
-    };
+    let config =
+        AppConfig { gc_helper_interval: Some(Duration::from_millis(20)), ..AppConfig::default() };
     let app = PartitionedApp::launch(&trusted, &untrusted, config)?;
 
     println!("creating 1000 Account proxies (mirrors materialise in the enclave)...");

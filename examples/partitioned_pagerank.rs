@@ -13,19 +13,9 @@ fn main() {
     let (vertices, edges, shards) = (10_000i64, 40_000i64, 4i64);
     println!("PageRank on an RMAT graph: {vertices} vertices, {edges} edges, {shards} shards\n");
     println!("{:>12} {:>10} {:>10} {:>10}", "config", "total(s)", "sharding", "engine");
-    for config in [
-        experiments_cfg::NoSgx,
-        experiments_cfg::NoPart,
-        experiments_cfg::Part,
-    ] {
+    for config in [experiments_cfg::NoSgx, experiments_cfg::NoPart, experiments_cfg::Part] {
         let run = config.run(vertices, edges, shards);
-        println!(
-            "{:>12} {:>10.3} {:>10.3} {:>10.3}",
-            config.label(),
-            run.0,
-            run.1,
-            run.2
-        );
+        println!("{:>12} {:>10.3} {:>10.3} {:>10.3}", config.label(), run.0, run.1, run.2);
     }
     println!("\nAfter partitioning, the sharding phase runs at native speed (no enclave I/O).");
     let _ = Deployment::all(); // the baselines crate provides the deployment models
@@ -75,8 +65,11 @@ mod experiments_cfg {
                 MethodRef::new("GraphChiEngine", "run"),
             ];
             let options = ImageOptions::with_entry_points(entries);
-            let dir = std::env::temp_dir()
-                .join(format!("pagerank_example_{}_{}", std::process::id(), self.label()));
+            let dir = std::env::temp_dir().join(format!(
+                "pagerank_example_{}_{}",
+                std::process::id(),
+                self.label()
+            ));
             let dir_str = dir.to_string_lossy().into_owned();
             let drive = |ctx: &mut montsalvat::core::Ctx<'_>| {
                 let sharder = ctx.new_object("FastSharder", &[])?;
@@ -158,9 +151,13 @@ mod experiments_cfg {
             Ok(Value::Float(result.values.iter().sum()))
         });
         let empty_ctor = || {
-            MethodDef::interpreted(CTOR, MethodKind::Constructor, 0, 0, vec![Instr::Return {
-                value: None,
-            }])
+            MethodDef::interpreted(
+                CTOR,
+                MethodKind::Constructor,
+                0,
+                0,
+                vec![Instr::Return { value: None }],
+            )
         };
         let sharder = ClassDef::new("FastSharder")
             .trust(sharder_trust)

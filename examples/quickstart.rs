@@ -49,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  bytes marshalled in: {}", stats.bytes_in);
     println!("  MEE-charged enclave heap traffic: {} B", stats.mee_bytes);
     println!("  mirrors in enclave registry: {}", app.registry_len(Side::Trusted));
-    println!(
-        "  proxies created outside: {}",
-        app.world_stats(Side::Untrusted).proxies_created
-    );
+    println!("  proxies created outside: {}", app.world_stats(Side::Untrusted).proxies_created);
     app.shutdown();
     Ok(())
 }

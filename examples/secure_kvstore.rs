@@ -38,8 +38,7 @@ fn kv_program(reader_trust: Trust, writer_trust: Trust) -> montsalvat::core::Pro
         let path = args[0].as_str().expect("path").to_owned();
         let n = args[1].as_int().expect("count");
         let backend = ctx.io_backend();
-        let reader =
-            StoreReader::open(&backend, &path).map_err(|e| VmError::App(e.to_string()))?;
+        let reader = StoreReader::open(&backend, &path).map_err(|e| VmError::App(e.to_string()))?;
         let mut hits = 0i64;
         for i in 0..n {
             if reader
@@ -55,15 +54,23 @@ fn kv_program(reader_trust: Trust, writer_trust: Trust) -> montsalvat::core::Pro
 
     let writer = ClassDef::new("DBWriter")
         .trust(writer_trust)
-        .method(MethodDef::interpreted(CTOR, MethodKind::Constructor, 0, 0, vec![
-            Instr::Return { value: None },
-        ]))
+        .method(MethodDef::interpreted(
+            CTOR,
+            MethodKind::Constructor,
+            0,
+            0,
+            vec![Instr::Return { value: None }],
+        ))
         .method(MethodDef::native("write", MethodKind::Instance, 2, vec![], writer_body));
     let reader = ClassDef::new("DBReader")
         .trust(reader_trust)
-        .method(MethodDef::interpreted(CTOR, MethodKind::Constructor, 0, 0, vec![
-            Instr::Return { value: None },
-        ]))
+        .method(MethodDef::interpreted(
+            CTOR,
+            MethodKind::Constructor,
+            0,
+            0,
+            vec![Instr::Return { value: None }],
+        ))
         .method(MethodDef::native("read", MethodKind::Instance, 2, vec![], reader_body));
     let main = ClassDef::new("Main").trust(Trust::Untrusted).method(MethodDef::interpreted(
         "main",
@@ -87,8 +94,8 @@ fn run_scheme(name: &str, reader_trust: Trust, writer_trust: Trust, n: i64) {
     let options = ImageOptions::with_entry_points(entries);
     let (trusted, untrusted) =
         build_partitioned_images(&tp, &options, &options).expect("images build");
-    let app = PartitionedApp::launch(&trusted, &untrusted, AppConfig::default())
-        .expect("launch kv app");
+    let app =
+        PartitionedApp::launch(&trusted, &untrusted, AppConfig::default()).expect("launch kv app");
 
     let path = std::env::temp_dir().join(format!("secure_kv_{name}_{}.store", std::process::id()));
     let path_str = path.to_string_lossy().into_owned();

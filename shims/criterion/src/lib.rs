@@ -66,7 +66,10 @@ impl Criterion {
         let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
         println!(
             "{name:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
-            min, median, mean, samples.len()
+            min,
+            median,
+            mean,
+            samples.len()
         );
         self
     }

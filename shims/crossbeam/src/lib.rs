@@ -14,6 +14,7 @@
 pub mod channel {
     use std::fmt;
     use std::sync::{mpsc, Arc, Mutex};
+    use std::time::Duration;
 
     /// The sending half of a channel. Cloneable.
     pub struct Sender<T>(SenderInner<T>);
@@ -36,6 +37,25 @@ pub mod channel {
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Sender::try_send`]; carries the unsent
+    /// message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and its buffer is full.
+        Full(T),
+        /// All receivers have been dropped.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the deadline.
+        Timeout,
+        /// All senders have been dropped and the queue is drained.
+        Disconnected,
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
@@ -60,6 +80,21 @@ pub mod channel {
                 SenderInner::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
             }
         }
+
+        /// Sends `value` without blocking: fails with
+        /// [`TrySendError::Full`] if a bounded channel has no free
+        /// slot (the switchless engine's classic-fallback trigger).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(tx) => {
+                    tx.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                SenderInner::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
+        }
     }
 
     impl<T> Receiver<T> {
@@ -71,9 +106,36 @@ pub mod channel {
         }
 
         /// Receives a message if one is immediately available.
+        ///
+        /// Never blocks: if another clone currently holds the shared
+        /// receiver (e.g. a pool sibling parked inside
+        /// [`recv_timeout`](Self::recv_timeout)), this reports empty
+        /// rather than waiting out that sibling's timeout — any
+        /// message that arrives meanwhile wakes the holder instead.
         pub fn try_recv(&self) -> Result<T, RecvError> {
+            match self.0.try_lock() {
+                Ok(rx) => rx.try_recv().map_err(|_| RecvError),
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    e.into_inner().try_recv().map_err(|_| RecvError)
+                }
+                Err(std::sync::TryLockError::WouldBlock) => Err(RecvError),
+            }
+        }
+
+        /// Receives the next message, giving up after `timeout` (how
+        /// idle switchless workers park between jobs).
+        ///
+        /// Note: clones share one underlying receiver behind a mutex,
+        /// so when several clones park concurrently the lock queue can
+        /// stretch one clone's effective timeout to about twice the
+        /// requested duration; a send still wakes the current holder
+        /// immediately.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let rx = self.0.lock().unwrap_or_else(|e| e.into_inner());
-            rx.try_recv().map_err(|_| RecvError)
+            rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 
@@ -120,6 +182,49 @@ mod tests {
         assert_eq!(rx.recv(), Ok("reply"));
         drop(tx);
         assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::bounded::<u8>(4);
+        let timeout = std::time::Duration::from_millis(5);
+        assert_eq!(rx.recv_timeout(timeout), Err(channel::RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(timeout), Ok(9));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(timeout), Err(channel::RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_does_not_wait_out_a_parked_sibling() {
+        // One clone parks in recv_timeout (holding the shared receiver
+        // for the whole wait); try_recv on another clone must return
+        // immediately instead of queueing behind that lock — the
+        // switchless drain loop relies on this.
+        let (_tx, rx) = channel::bounded::<u8>(4);
+        let parked = rx.clone();
+        let handle =
+            std::thread::spawn(move || parked.recv_timeout(std::time::Duration::from_millis(200)));
+        // Give the sibling time to enter recv_timeout.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let start = std::time::Instant::now();
+        assert_eq!(rx.try_recv(), Err(channel::RecvError));
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(100),
+            "try_recv blocked for {:?} behind a parked sibling",
+            start.elapsed()
+        );
+        assert_eq!(handle.join().unwrap(), Err(channel::RecvTimeoutError::Timeout));
     }
 
     #[test]

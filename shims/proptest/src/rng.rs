@@ -61,10 +61,13 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a: Vec<u64> = (0..8).map(|_| 0).scan(TestRng::for_case("t", 3), |r, _| Some(r.next_u64())).collect();
-        let b: Vec<u64> = (0..8).map(|_| 0).scan(TestRng::for_case("t", 3), |r, _| Some(r.next_u64())).collect();
+        let a: Vec<u64> =
+            (0..8).map(|_| 0).scan(TestRng::for_case("t", 3), |r, _| Some(r.next_u64())).collect();
+        let b: Vec<u64> =
+            (0..8).map(|_| 0).scan(TestRng::for_case("t", 3), |r, _| Some(r.next_u64())).collect();
         assert_eq!(a, b);
-        let c: Vec<u64> = (0..8).map(|_| 0).scan(TestRng::for_case("t", 4), |r, _| Some(r.next_u64())).collect();
+        let c: Vec<u64> =
+            (0..8).map(|_| 0).scan(TestRng::for_case("t", 4), |r, _| Some(r.next_u64())).collect();
         assert_ne!(a, c);
     }
 

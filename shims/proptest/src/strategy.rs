@@ -204,10 +204,7 @@ mod tests {
 
     #[test]
     fn map_and_union_compose() {
-        let strat = Union::new(vec![
-            Just(1u8).boxed(),
-            (2u8..4).prop_map(|v| v * 10).boxed(),
-        ]);
+        let strat = Union::new(vec![Just(1u8).boxed(), (2u8..4).prop_map(|v| v * 10).boxed()]);
         let mut rng = TestRng::for_case("union", 0);
         for _ in 0..100 {
             let v = strat.generate(&mut rng);

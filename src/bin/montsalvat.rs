@@ -189,8 +189,7 @@ fn print_image(name: &str, classes: &[ClassDef], reach: &Reachability) {
             ClassRole::Concrete => class.trust.annotation_name().to_owned(),
             ClassRole::Proxy => format!("proxy for {}", class.trust.annotation_name()),
         };
-        let relays =
-            class.methods.iter().filter(|m| m.name.starts_with("relay$")).count();
+        let relays = class.methods.iter().filter(|m| m.name.starts_with("relay$")).count();
         println!(
             "  {:<20} [{role}] {} methods{}",
             class.name,
@@ -228,9 +227,8 @@ fn parse_program(text: &str) -> Result<Program, String> {
                 *class = std::mem::replace(class, ClassDef::new("")).field(*name);
             }
             ["main", target] => {
-                let (c, m) = target
-                    .split_once('.')
-                    .ok_or_else(|| err("main must be Class.method"))?;
+                let (c, m) =
+                    target.split_once('.').ok_or_else(|| err("main must be Class.method"))?;
                 main = Some(MethodRef::new(c, m));
             }
             [kind @ ("method" | "ctor" | "static"), rest @ ..] if !rest.is_empty() => {
@@ -312,8 +310,7 @@ mod tests {
 
     #[test]
     fn dangling_calls_are_caught_by_validation() {
-        let err =
-            parse_program("class A\n  static m 0 calls Ghost.x\nmain A.m").unwrap_err();
+        let err = parse_program("class A\n  static m 0 calls Ghost.x\nmain A.m").unwrap_err();
         assert!(err.contains("Ghost"), "{err}");
     }
 }

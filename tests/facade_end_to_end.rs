@@ -95,25 +95,30 @@ fn annotations_control_placement_of_io() {
     use montsalvat::core::class::{ClassDef, Instr, MethodDef, MethodKind, CTOR};
     use std::sync::Arc;
 
-    let io_body: montsalvat::core::class::NativeFn =
-        Arc::new(|ctx, _this, _args| {
-            for _ in 0..10 {
-                ctx.io_write(512)?;
-            }
-            Ok(Value::Unit)
-        });
+    let io_body: montsalvat::core::class::NativeFn = Arc::new(|ctx, _this, _args| {
+        for _ in 0..10 {
+            ctx.io_write(512)?;
+        }
+        Ok(Value::Unit)
+    });
     let make = |trust: Trust| {
         let worker = ClassDef::new("Worker")
             .trust(trust)
-            .method(MethodDef::interpreted(CTOR, MethodKind::Constructor, 0, 0, vec![
-                Instr::Return { value: None },
-            ]))
+            .method(MethodDef::interpreted(
+                CTOR,
+                MethodKind::Constructor,
+                0,
+                0,
+                vec![Instr::Return { value: None }],
+            ))
             .method(MethodDef::native("work", MethodKind::Instance, 0, vec![], io_body.clone()));
-        let main = ClassDef::new("Main").trust(Trust::Untrusted).method(
-            MethodDef::interpreted("main", MethodKind::Static, 0, 0, vec![Instr::Return {
-                value: None,
-            }]),
-        );
+        let main = ClassDef::new("Main").trust(Trust::Untrusted).method(MethodDef::interpreted(
+            "main",
+            MethodKind::Static,
+            0,
+            0,
+            vec![Instr::Return { value: None }],
+        ));
         montsalvat::core::Program::new(vec![worker, main], MethodRef::new("Main", "main")).unwrap()
     };
 
