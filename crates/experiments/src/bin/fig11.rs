@@ -4,6 +4,7 @@ use experiments::report::{print_params, Scale};
 use sgx_sim::cost::CostParams;
 
 fn main() {
+    experiments::report::init_tracing_from_args();
     let scale = Scale::from_args();
     print_params(&CostParams::paper_defaults());
     let data = experiments::graph::fig11(scale);
@@ -33,4 +34,5 @@ fn main() {
         mean(&scone.1) / mean(&nopart.1),
     );
     experiments::report::maybe_export_telemetry();
+    experiments::report::maybe_export_trace();
 }

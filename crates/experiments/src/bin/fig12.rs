@@ -6,6 +6,7 @@ use sgx_sim::cost::CostParams;
 use specjvm::Workload;
 
 fn main() {
+    experiments::report::init_tracing_from_args();
     let scale = Scale::from_args();
     print_params(&CostParams::paper_defaults());
     let runs = experiments::spec::fig12(scale);
@@ -24,4 +25,5 @@ fn main() {
         println!();
     }
     experiments::report::maybe_export_telemetry();
+    experiments::report::maybe_export_trace();
 }

@@ -4,6 +4,7 @@ use experiments::report::{print_figure, print_params, Scale};
 use sgx_sim::cost::CostParams;
 
 fn main() {
+    experiments::report::init_tracing_from_args();
     let scale = Scale::from_args();
     print_params(&CostParams::paper_defaults());
     let series = experiments::micro::fig3(scale);
@@ -13,4 +14,5 @@ fn main() {
     println!("\nproxy-out→in / concrete-out: {ratio_out:.0}x (paper: ~4 orders of magnitude)");
     println!("proxy-in→out / concrete-in: {ratio_in:.0}x (paper: ~3 orders of magnitude)");
     experiments::report::maybe_export_telemetry();
+    experiments::report::maybe_export_trace();
 }

@@ -4,6 +4,7 @@ use experiments::report::{mean_ratio, print_figure, print_params, Scale};
 use sgx_sim::cost::CostParams;
 
 fn main() {
+    experiments::report::init_tracing_from_args();
     let scale = Scale::from_args();
     print_params(&CostParams::paper_defaults());
     let a = experiments::micro::fig4a(scale);
@@ -22,4 +23,5 @@ fn main() {
         mean_ratio(&b[0], &b[2]),
     );
     experiments::report::maybe_export_telemetry();
+    experiments::report::maybe_export_trace();
 }

@@ -4,6 +4,7 @@ use experiments::report::{mean_ratio, print_figure, print_params, Scale};
 use sgx_sim::cost::CostParams;
 
 fn main() {
+    experiments::report::init_tracing_from_args();
     let scale = Scale::from_args();
     print_params(&CostParams::paper_defaults());
     let a = experiments::gc::fig5a(scale);
@@ -26,4 +27,5 @@ fn main() {
         .unwrap_or(0);
     println!("\nmax |proxies - mirrors| across timeline: {max_gap} (consistency: tracks closely)");
     experiments::report::maybe_export_telemetry();
+    experiments::report::maybe_export_trace();
 }

@@ -4,6 +4,7 @@ use experiments::report::{print_figure, print_params, Scale};
 use sgx_sim::cost::CostParams;
 
 fn main() {
+    experiments::report::init_tracing_from_args();
     let scale = Scale::from_args();
     print_params(&CostParams::paper_defaults());
     let series = experiments::synthetic::fig6(scale);
@@ -14,4 +15,5 @@ fn main() {
         println!("{}: 0% untrusted {:.3}s -> 100% untrusted {:.3}s", s.label, first, last);
     }
     experiments::report::maybe_export_telemetry();
+    experiments::report::maybe_export_trace();
 }

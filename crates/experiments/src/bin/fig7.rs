@@ -4,6 +4,7 @@ use experiments::report::{mean_ratio, print_figure, print_params, Scale};
 use sgx_sim::cost::CostParams;
 
 fn main() {
+    experiments::report::init_tracing_from_args();
     let scale = Scale::from_args();
     print_params(&CostParams::paper_defaults());
     let series = experiments::paldb::fig7(scale);
@@ -24,4 +25,5 @@ fn main() {
         ruwt.ocalls as f64 / rtwu.ocalls.max(1) as f64,
     );
     experiments::report::maybe_export_telemetry();
+    experiments::report::maybe_export_trace();
 }

@@ -4,6 +4,7 @@ use experiments::report::{print_params, Scale};
 use sgx_sim::cost::CostParams;
 
 fn main() {
+    experiments::report::init_tracing_from_args();
     let scale = Scale::from_args();
     print_params(&CostParams::paper_defaults());
     for ((v, e), runs) in experiments::graph::fig9(scale) {
@@ -24,4 +25,5 @@ fn main() {
         }
     }
     experiments::report::maybe_export_telemetry();
+    experiments::report::maybe_export_trace();
 }

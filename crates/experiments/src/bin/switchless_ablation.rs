@@ -113,6 +113,7 @@ fn run_mode(
 }
 
 fn main() {
+    experiments::report::init_tracing_from_args();
     let scale = Scale::from_args();
     let (bursts, threads, calls) = match scale {
         Scale::Quick => (6, 4, 8),
@@ -186,6 +187,7 @@ fn main() {
         }
     }
     experiments::report::maybe_export_telemetry();
+    experiments::report::maybe_export_trace();
 
     // The claims this ablation exists to demonstrate.
     for sw in [fixed, adaptive] {

@@ -4,6 +4,7 @@ use experiments::report::{print_params, print_table, Scale};
 use sgx_sim::cost::CostParams;
 
 fn main() {
+    experiments::report::init_tracing_from_args();
     let scale = Scale::from_args();
     print_params(&CostParams::paper_defaults());
     let runs = experiments::spec::fig12(scale);
@@ -17,4 +18,5 @@ fn main() {
         &rows,
     );
     experiments::report::maybe_export_telemetry();
+    experiments::report::maybe_export_trace();
 }

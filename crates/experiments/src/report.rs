@@ -171,6 +171,60 @@ pub fn maybe_export_telemetry() {
     }
 }
 
+/// Parses `--trace-out <path>` (or `--trace-out=<path>`) from the CLI
+/// arguments.
+pub fn trace_out_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Enables the process-global tracer when `--trace-out` was passed.
+/// Every figure/table binary calls this before its first run, so each
+/// crossing of the experiment lands in the capture
+/// ([`maybe_export_trace`] writes it out at the end). Returns whether
+/// tracing is on.
+pub fn init_tracing_from_args() -> bool {
+    if trace_out_from_args().is_some() {
+        telemetry::trace::Tracer::global().enable();
+        true
+    } else {
+        false
+    }
+}
+
+/// Exports the captured causal trace as Chrome trace-event JSON
+/// ([`telemetry::trace::TRACE_SCHEMA`]) if `--trace-out` was passed;
+/// every figure/table binary calls this right after
+/// [`maybe_export_telemetry`]. The aggregate `rmi.calls` counter rides
+/// along in `otherData` so `montsalvat trace-report` can reconcile the
+/// trace against telemetry. Export failures are reported on stderr but
+/// do not fail the experiment.
+pub fn maybe_export_trace() {
+    let Some(path) = trace_out_from_args() else { return };
+    let tracer = telemetry::trace::Tracer::global();
+    let rmi_calls = telemetry::aggregate().counter(telemetry::Counter::RmiCalls);
+    let json = tracer.to_chrome_json(&[("rmi_calls", rmi_calls)]);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!(
+            "trace ({schema}): {p} — {n} events, {d} dropped; load in Perfetto or run \
+             `montsalvat trace-report {p}`",
+            schema = telemetry::trace::TRACE_SCHEMA,
+            p = path.display(),
+            n = tracer.event_count(),
+            d = tracer.dropped(),
+        ),
+        Err(e) => eprintln!("trace: failed to write {}: {e}", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

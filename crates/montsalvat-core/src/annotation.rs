@@ -75,6 +75,14 @@ impl Side {
         }
     }
 
+    /// The trace lane (Perfetto "process") this side's events land on.
+    pub fn lane(&self) -> telemetry::trace::Lane {
+        match self {
+            Side::Trusted => telemetry::trace::Lane::Trusted,
+            Side::Untrusted => telemetry::trace::Lane::Untrusted,
+        }
+    }
+
     /// Conventional isolate name for this side.
     pub fn name(&self) -> &'static str {
         match self {

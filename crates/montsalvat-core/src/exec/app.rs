@@ -64,6 +64,11 @@ pub struct AppConfig {
     /// isolate a run's metrics from other applications in the process,
     /// or to share one recorder across several runs.
     pub telemetry: Option<Arc<telemetry::Recorder>>,
+    /// Trace sink every layer of this application emits causal trace
+    /// events into. `None` uses the process-global tracer
+    /// ([`telemetry::trace::Tracer::global`]), which captures nothing
+    /// until enabled; inject one to isolate a run's trace.
+    pub trace: Option<Arc<telemetry::trace::Tracer>>,
 }
 
 impl Default for AppConfig {
@@ -79,19 +84,28 @@ impl Default for AppConfig {
             workdir: None,
             switchless: None,
             telemetry: None,
+            trace: None,
         }
     }
 }
 
 /// Builds the application's cost model, injecting the configured
-/// recorder if one was provided.
+/// recorder and tracer if provided.
 fn cost_model(config: &AppConfig) -> Arc<CostModel> {
-    Arc::new(match &config.telemetry {
-        Some(rec) => {
-            CostModel::with_recorder(config.cost_params.clone(), config.clock_mode, Arc::clone(rec))
-        }
-        None => CostModel::new(config.cost_params.clone(), config.clock_mode),
-    })
+    let recorder = match &config.telemetry {
+        Some(rec) => Arc::clone(rec),
+        None => telemetry::Recorder::new(),
+    };
+    let tracer = match &config.trace {
+        Some(tracer) => Arc::clone(tracer),
+        None => Arc::clone(telemetry::trace::Tracer::global()),
+    };
+    Arc::new(CostModel::with_recorder_and_tracer(
+        config.cost_params.clone(),
+        config.clock_mode,
+        recorder,
+        tracer,
+    ))
 }
 
 /// State shared by both runtimes of a running application.
@@ -138,6 +152,15 @@ pub(crate) fn gc_sync_from(shared: &AppShared, side: Side) -> Result<usize, VmEr
             rmi.proxies.remove(h);
         }
     }
+    // The sweep's crossing (and its transition span) parents under
+    // this span, so helper activity shows up as its own call trees on
+    // the sweeping side's lane.
+    let tracer = Arc::clone(shared.cost.tracer());
+    let sweep_span =
+        tracer.start(side.lane(), "gc", telemetry::trace::current(), shared.cost.now_ns(), || {
+            format!("gc-sweep:{side} dead={}", dead.len())
+        });
+    let _scope = sweep_span.as_ref().map(|s| telemetry::trace::set_current(s.context()));
     let other = shared.world(side.opposite());
     let bytes = dead.len() * 16;
     let release = || {
@@ -154,11 +177,14 @@ pub(crate) fn gc_sync_from(shared: &AppShared, side: Side) -> Result<usize, VmEr
     };
     let released = match side {
         // The untrusted helper enters the enclave to drop trusted mirrors.
-        Side::Untrusted => shared.enclave.ecall("ecall_gc_release", bytes, release)?,
+        Side::Untrusted => shared.enclave.ecall("ecall_gc_release", bytes, release),
         // The trusted helper exits the enclave to drop untrusted mirrors.
-        Side::Trusted => shared.enclave.ocall("ocall_gc_release", bytes, release)?,
+        Side::Trusted => shared.enclave.ocall("ocall_gc_release", bytes, release),
     };
-    Ok(released)
+    if let Some(span) = sweep_span {
+        tracer.finish(span, shared.cost.now_ns());
+    }
+    Ok(released?)
 }
 
 fn fresh_workdir(tag: &str) -> PathBuf {
@@ -277,6 +303,12 @@ impl PartitionedApp {
         );
         trusted.attach_recorder(Arc::clone(cost.recorder()));
         untrusted.attach_recorder(Arc::clone(cost.recorder()));
+        let model_clock: Arc<dyn Fn() -> u64 + Send + Sync> = {
+            let cost = Arc::clone(&cost);
+            Arc::new(move || cost.now_ns())
+        };
+        trusted.attach_tracer(Arc::clone(cost.tracer()), Arc::clone(&model_clock));
+        untrusted.attach_tracer(Arc::clone(cost.tracer()), model_clock);
         restore_image_heap(trusted_image, &trusted)?;
         restore_image_heap(untrusted_image, &untrusted)?;
 
@@ -521,6 +553,10 @@ impl SingleWorldApp {
             in_enclave.then_some(&enclave),
         );
         world.attach_recorder(Arc::clone(cost.recorder()));
+        world.attach_tracer(Arc::clone(cost.tracer()), {
+            let cost = Arc::clone(&cost);
+            Arc::new(move || cost.now_ns())
+        });
         restore_image_heap(image, &world)?;
 
         let shared = Arc::new(AppShared {

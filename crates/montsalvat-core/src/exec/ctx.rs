@@ -32,10 +32,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rmi::codec::{self, CodecError, RefEncoding};
+use rmi::codec::{self, CodecError, RefEncoding, TraceContext};
 use rmi::hash::ProxyHash;
 use runtime_sim::heap::{GcOutcome, Heap};
 use runtime_sim::value::{ObjId, Value};
+use telemetry::trace::{self, SpanContext};
 
 use crate::annotation::Side;
 use crate::class::{ClassRole, MethodBody, MethodDef, MethodKind, CTOR};
@@ -449,18 +450,39 @@ fn open_scratch(app: &AppShared, world: &World) -> Result<IoFile, VmError> {
 // ---------------------------------------------------------------------
 
 /// A marshalled crossing message: receiver hash, class hints for every
-/// hash reference in the payload, and the codec-encoded payload.
+/// hash reference in the payload, the codec-encoded payload, and — when
+/// tracing is on — the caller's trace context, so a request served on
+/// another thread (switchless) still parents under the caller's span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct WireMsg {
     pub recv_hash: Option<ProxyHash>,
     pub hints: Vec<(ProxyHash, String)>,
     pub payload: Vec<u8>,
+    pub trace: Option<TraceContext>,
 }
 
 impl WireMsg {
-    /// Total bytes that cross the boundary for this message.
+    /// Total bytes that cross the boundary for this message. A trace
+    /// context costs its wire bytes plus the presence flag; an untraced
+    /// message is byte-identical to the pre-tracing format.
     pub(crate) fn wire_len(&self) -> usize {
-        17 + self.hints.iter().map(|(_, c)| 20 + c.len()).sum::<usize>() + 4 + self.payload.len()
+        17 + self.hints.iter().map(|(_, c)| 20 + c.len()).sum::<usize>()
+            + 4
+            + self.payload.len()
+            + self.trace.map_or(0, |_| 1 + TraceContext::WIRE_LEN)
+    }
+
+    /// The caller's span as a parent for spans on the serving side.
+    pub(crate) fn parent_span(&self) -> Option<SpanContext> {
+        self.trace.map(|t| SpanContext { trace_id: t.trace_id, span_id: t.parent_span_id })
+    }
+
+    /// Wire bytes excluding the trace-context suffix. A traced batch
+    /// frame charges this as the payload length — the frame re-encodes
+    /// the context in its own per-payload slot (see
+    /// [`rmi::batch::traced_frame_len`]).
+    pub(crate) fn wire_len_sans_trace(&self) -> usize {
+        self.wire_len() - self.trace.map_or(0, |_| 1 + TraceContext::WIRE_LEN)
     }
 }
 
@@ -468,6 +490,11 @@ impl WireMsg {
 ///
 /// Neutral objects inline; annotated objects export/reuse a hash.
 fn marshal(app: &AppShared, world: &World, values: &[Value]) -> Result<WireMsg, VmError> {
+    let tracer = app.cost.tracer();
+    let serde_span =
+        tracer.start(world.side.lane(), "serde", trace::current(), app.cost.now_ns(), || {
+            "marshal".to_owned()
+        });
     // Pass 1: find annotated references reachable through inline
     // (neutral) structure.
     let mut annotated: Vec<ObjId> = Vec::new();
@@ -539,7 +566,10 @@ fn marshal(app: &AppShared, world: &World, values: &[Value]) -> Result<WireMsg, 
     // read goes through the MEE, hence the enclave factor on encode.
     charge_serde(app, world, payload.len(), true);
     app.cost.recorder().add(telemetry::Counter::CodecBytesOut, payload.len() as u64);
-    Ok(WireMsg { recv_hash: None, hints, payload })
+    if let Some(span) = serde_span {
+        tracer.finish(span, app.cost.now_ns());
+    }
+    Ok(WireMsg { recv_hash: None, hints, payload, trace: None })
 }
 
 /// Reads the `__hash` field of a proxy object.
@@ -566,6 +596,11 @@ fn unmarshal(
     world: &World,
     msg: &WireMsg,
 ) -> Result<(Vec<Value>, Vec<ObjId>), VmError> {
+    let tracer = app.cost.tracer();
+    let serde_span =
+        tracer.start(world.side.lane(), "serde", trace::current(), app.cost.now_ns(), || {
+            "unmarshal".to_owned()
+        });
     let mut pins: Vec<ObjId> = Vec::new();
     let mut by_hash: std::collections::HashMap<ProxyHash, ObjId> = Default::default();
 
@@ -616,6 +651,9 @@ fn unmarshal(
     // the heap observer, so no extra factor here.
     charge_serde(app, world, msg.payload.len(), false);
     app.cost.recorder().add(telemetry::Counter::CodecBytesIn, msg.payload.len() as u64);
+    if let Some(span) = serde_span {
+        tracer.finish(span, app.cost.now_ns());
+    }
     pins.extend(decoded.allocated.iter().copied());
     match decoded.value {
         Value::List(vs) => Ok((vs, pins)),
@@ -800,74 +838,109 @@ fn cross_call(
 ) -> Result<Value, VmError> {
     let callee = Arc::clone(app.world(caller.side.opposite()));
     let charged_at_entry = app.cost.charged();
-    let mut msg = marshal(app, caller, args)?;
-    msg.recv_hash = recv_hash;
-    caller.stats.count_rmi(msg.payload.len() as u64);
+    // One cat-"rmi" span per crossing, covering marshal, the transition
+    // (or switchless hand-off), the remote relay and the return-value
+    // unmarshal. Telemetry's `rmi.calls` counter and the number of
+    // "rmi" Begin events in a trace therefore reconcile (modulo
+    // `trace.dropped`). The span is the crossing's trace parent: the
+    // thread-local context carries it through classic same-thread
+    // serves, the wire context through cross-thread switchless serves.
+    let tracer = Arc::clone(app.cost.tracer());
+    let rmi_span =
+        tracer.start(caller.side.lane(), "rmi", trace::current(), app.cost.now_ns(), || {
+            format!("{class_name}.{relay}")
+        });
+    let rmi_ctx = rmi_span.as_ref().map(|s| s.context());
+    let _scope = rmi_ctx.map(trace::set_current);
 
-    let trust = callee.side;
-    let routine = edge_routine_name(
-        match trust {
-            Side::Trusted => crate::annotation::Trust::Trusted,
-            Side::Untrusted => crate::annotation::Trust::Untrusted,
-        },
-        class_name,
-        relay,
-    );
-    let wire_len = msg.wire_len();
-
-    // The classic crossing: the relay software itself (isolate attach,
-    // edge-routine marshalling, registry work) on top of the raw
-    // hardware transition. Also the target the adaptive switchless
-    // engine degrades to when its mailbox is full.
-    let classic = || -> Result<WireMsg, VmError> {
-        app.cost.charge_ns(app.cost.params().relay_overhead_ns);
-        let serve = || serve_relay(app, &callee, class_name, relay, &msg);
-        let served: Result<WireMsg, VmError> = match trust {
-            Side::Trusted => app.enclave.ecall(&routine, wire_len, serve)?,
-            Side::Untrusted => app.enclave.ocall(&routine, wire_len, serve)?,
-        };
-        served
-    };
-
-    // Switchless mode (§7 future work): post to the opposite side's
-    // resident worker instead of performing a hardware transition. The
-    // engine charges the hand-off on a hit (the serving worker adds
-    // the wake and batched boundary copy) or the failed-probe
-    // surcharge on a fallback, which then pays the classic crossing
-    // on top.
-    let pool = app.switchless.lock().clone();
     let mut switchless_hit = false;
-    let ret_msg = if let Some(pool) = pool {
-        match pool.post(trust, class_name.to_owned(), relay.to_owned(), recv_hash, msg.clone())? {
-            PostOutcome::Served(served) => {
-                switchless_hit = true;
-                caller.stats.count_switchless();
-                served?
-            }
-            PostOutcome::Fallback => {
-                caller.stats.count_switchless_fallback();
-                classic()?
-            }
-        }
-    } else {
-        classic()?
-    };
+    let result = (|| -> Result<Value, VmError> {
+        let mut msg = marshal(app, caller, args)?;
+        msg.recv_hash = recv_hash;
+        msg.trace =
+            rmi_ctx.map(|c| TraceContext { trace_id: c.trace_id, parent_span_id: c.span_id });
+        caller.stats.count_rmi(msg.payload.len() as u64);
 
-    // Decode the return value in the caller's world.
-    let (mut rets, pins) = unmarshal(app, caller, &ret_msg)?;
-    let ret = rets.pop().unwrap_or(Value::Unit);
-    promote(caller, &ret);
-    release_pins(caller, &pins);
-    // Record the modelled latency of the whole crossing (marshal,
-    // transition or worker hand-off, relay work, unmarshal) as a
-    // charged-time delta, split by crossing flavour.
-    let span_ns = app.cost.charged().saturating_sub(charged_at_entry).as_nanos() as u64;
-    // A fallback is a classic crossing (plus the probe surcharge), so
-    // it records into the classic histogram.
-    let hist =
-        if switchless_hit { telemetry::Hist::SwitchlessCallNs } else { telemetry::Hist::RmiCallNs };
-    app.cost.recorder().record(hist, span_ns);
-    Ok(ret)
+        let trust = callee.side;
+        let routine = edge_routine_name(
+            match trust {
+                Side::Trusted => crate::annotation::Trust::Trusted,
+                Side::Untrusted => crate::annotation::Trust::Untrusted,
+            },
+            class_name,
+            relay,
+        );
+        let wire_len = msg.wire_len();
+
+        // The classic crossing: the relay software itself (isolate attach,
+        // edge-routine marshalling, registry work) on top of the raw
+        // hardware transition. Also the target the adaptive switchless
+        // engine degrades to when its mailbox is full.
+        let classic = || -> Result<WireMsg, VmError> {
+            app.cost.charge_ns(app.cost.params().relay_overhead_ns);
+            let serve = || serve_relay(app, &callee, class_name, relay, &msg);
+            let served: Result<WireMsg, VmError> = match trust {
+                Side::Trusted => app.enclave.ecall(&routine, wire_len, serve)?,
+                Side::Untrusted => app.enclave.ocall(&routine, wire_len, serve)?,
+            };
+            served
+        };
+
+        // Switchless mode (§7 future work): post to the opposite side's
+        // resident worker instead of performing a hardware transition. The
+        // engine charges the hand-off on a hit (the serving worker adds
+        // the wake and batched boundary copy) or the failed-probe
+        // surcharge on a fallback, which then pays the classic crossing
+        // on top.
+        let pool = app.switchless.lock().clone();
+        let ret_msg = if let Some(pool) = pool {
+            match pool.post(
+                trust,
+                class_name.to_owned(),
+                relay.to_owned(),
+                recv_hash,
+                msg.clone(),
+            )? {
+                PostOutcome::Served(served) => {
+                    switchless_hit = true;
+                    caller.stats.count_switchless();
+                    served?
+                }
+                PostOutcome::Fallback => {
+                    caller.stats.count_switchless_fallback();
+                    classic()?
+                }
+            }
+        } else {
+            classic()?
+        };
+
+        // Decode the return value in the caller's world.
+        let (mut rets, pins) = unmarshal(app, caller, &ret_msg)?;
+        let ret = rets.pop().unwrap_or(Value::Unit);
+        promote(caller, &ret);
+        release_pins(caller, &pins);
+        Ok(ret)
+    })();
+
+    if let Some(span) = rmi_span {
+        tracer.finish(span, app.cost.now_ns());
+    }
+    if result.is_ok() {
+        // Record the modelled latency of the whole crossing (marshal,
+        // transition or worker hand-off, relay work, unmarshal) as a
+        // charged-time delta, split by crossing flavour.
+        let span_ns = app.cost.charged().saturating_sub(charged_at_entry).as_nanos() as u64;
+        // A fallback is a classic crossing (plus the probe surcharge), so
+        // it records into the classic histogram.
+        let hist = if switchless_hit {
+            telemetry::Hist::SwitchlessCallNs
+        } else {
+            telemetry::Hist::RmiCallNs
+        };
+        app.cost.recorder().record(hist, span_ns);
+    }
+    result
 }
 
 /// Receiving side of a crossing: dispatches a relay method.
@@ -879,6 +952,36 @@ pub(crate) fn serve_relay(
     msg: &WireMsg,
 ) -> Result<WireMsg, VmError> {
     app.cost.recorder().incr(telemetry::Counter::RelayDispatches);
+    // The serving side of the crossing. A classic serve runs on the
+    // caller's thread, so the thread-local context (the ecall/ocall
+    // transition span) is the parent; a switchless serve runs on a
+    // worker thread, where the wire context posted with the message
+    // reconnects the tree.
+    let tracer = Arc::clone(app.cost.tracer());
+    let exec_span = tracer.start(
+        callee.side.lane(),
+        "exec",
+        trace::current().or_else(|| msg.parent_span()),
+        app.cost.now_ns(),
+        || format!("serve:{class_name}.{relay}"),
+    );
+    let _scope = exec_span.as_ref().map(|s| trace::set_current(s.context()));
+    let outcome = serve_relay_inner(app, callee, class_name, relay, msg);
+    if let Some(span) = exec_span {
+        tracer.finish(span, app.cost.now_ns());
+    }
+    outcome
+}
+
+/// The relay dispatch itself (see [`serve_relay`], which wraps it in
+/// the serving side's trace span).
+fn serve_relay_inner(
+    app: &AppShared,
+    callee: &Arc<World>,
+    class_name: &str,
+    relay: &str,
+    msg: &WireMsg,
+) -> Result<WireMsg, VmError> {
     let info = callee.class_by_name(class_name)?.clone();
     let relay_def = info
         .def

@@ -129,6 +129,10 @@ pub(crate) struct SwitchlessJob {
     pub recv_hash: Option<ProxyHash>,
     pub msg: WireMsg,
     pub reply: Sender<Result<WireMsg, VmError>>,
+    /// `(model_ns, wall_ns)` at post time when tracing was on, so the
+    /// serving worker can attribute queue wait separately from
+    /// execution; `None` when the post was untraced.
+    pub posted: Option<(u64, u64)>,
 }
 
 /// Outcome of posting a call to the engine.
@@ -292,7 +296,9 @@ impl SwitchlessPool {
             self.maybe_scale_up(state);
         }
         let (reply_tx, reply_rx) = bounded(1);
-        let job = SwitchlessJob { class_name, relay, recv_hash, msg, reply: reply_tx };
+        let tracer = self.cost.tracer();
+        let posted = tracer.is_enabled().then(|| (self.cost.now_ns(), tracer.wall_now_ns()));
+        let job = SwitchlessJob { class_name, relay, recv_hash, msg, reply: reply_tx, posted };
         state.queued.fetch_add(1, Ordering::Relaxed);
         match self.tx(side).try_send(job) {
             Ok(()) => {
@@ -414,11 +420,42 @@ fn worker_loop(
                 }
                 recorder.record(telemetry::Hist::SwitchlessBatchJobs, batch.len() as u64);
                 // The whole drained batch crosses as one batch frame:
-                // one header, then each request's wire bytes.
-                let wire_lens: Vec<usize> = batch.iter().map(|j| j.msg.wire_len()).collect();
-                let frame_bytes = rmi::batch::frame_len(&wire_lens);
+                // one header, then each request's wire bytes. Traced
+                // requests cross as a traced frame, whose per-payload
+                // slot carries the trace context (and a flag byte even
+                // when absent).
+                let tracer = cost.tracer();
+                let frame_bytes = if tracer.is_enabled() {
+                    let payloads: Vec<(usize, bool)> = batch
+                        .iter()
+                        .map(|j| (j.msg.wire_len_sans_trace(), j.msg.trace.is_some()))
+                        .collect();
+                    rmi::batch::traced_frame_len(&payloads)
+                } else {
+                    let wire_lens: Vec<usize> = batch.iter().map(|j| j.msg.wire_len()).collect();
+                    rmi::batch::frame_len(&wire_lens)
+                };
                 cost.charge_ns((frame_bytes as f64 * params.copy_ns_per_byte) as u64);
                 for job in batch {
+                    // Queue wait — post to pickup — attributed as its
+                    // own span under the caller's rmi span, never
+                    // inside the execution span.
+                    if let Some((posted_model, posted_wall)) = job.posted {
+                        let picked_up = cost.now_ns();
+                        tracer.span_at(
+                            state.side.lane(),
+                            "queue",
+                            job.msg.parent_span(),
+                            posted_model,
+                            picked_up.max(posted_model),
+                            posted_wall,
+                            || format!("queue-wait:{}.{}", job.class_name, job.relay),
+                        );
+                        recorder.record(
+                            telemetry::Hist::SwitchlessQueueWaitNs,
+                            picked_up.saturating_sub(posted_model),
+                        );
+                    }
                     let out =
                         serve(state.side, &job.class_name, &job.relay, job.recv_hash, &job.msg);
                     let _ = job.reply.send(out);
@@ -482,7 +519,7 @@ mod tests {
     }
 
     fn msg() -> WireMsg {
-        WireMsg { recv_hash: None, hints: Vec::new(), payload: vec![1, 2, 3] }
+        WireMsg { recv_hash: None, hints: Vec::new(), payload: vec![1, 2, 3], trace: None }
     }
 
     fn model() -> Arc<CostModel> {

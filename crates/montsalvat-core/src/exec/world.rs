@@ -359,6 +359,18 @@ impl World {
         rmi.weaklist.set_recorder(recorder);
     }
 
+    /// Routes this world's heap GC pauses into the application's trace
+    /// sink, on this world's lane and in model time. Called once at
+    /// application launch, right after [`World::attach_recorder`].
+    pub fn attach_tracer(
+        &self,
+        tracer: Arc<telemetry::trace::Tracer>,
+        model_clock: Arc<dyn Fn() -> u64 + Send + Sync>,
+    ) {
+        let lane = self.side.lane();
+        self.isolate.with_heap(|h| h.set_tracer(Arc::clone(&tracer), lane, model_clock));
+    }
+
     /// Reads a class by name, as a runtime error if missing.
     pub fn class_by_name(&self, name: &str) -> Result<&ClassInfo, VmError> {
         self.classes.by_name(name).ok_or_else(|| VmError::UnknownClass(name.to_owned()))

@@ -27,8 +27,23 @@
 //! assert_eq!(decoded, vec![b"first".to_vec(), b"second".to_vec()]);
 //! ```
 
+//! When tracing is enabled the switchless engine uses the *traced*
+//! variant instead ([`encode_traced`] / [`decode_traced`], magic
+//! `"MT"`): each payload gains a one-byte flag and, when set, a
+//! 16-byte [`TraceContext`] so the serving side can parent its spans
+//! under the caller's — queued jobs hop threads, so the thread-local
+//! context used by classic crossings does not reach them.
+
+use crate::codec::TraceContext;
+
 /// The two magic bytes opening every batch frame.
 pub const MAGIC: [u8; 2] = *b"MB";
+
+/// The two magic bytes opening every *traced* batch frame.
+pub const TRACED_MAGIC: [u8; 2] = *b"MT";
+
+/// Per-payload overhead added by the traced format's context flag.
+pub const PER_PAYLOAD_FLAG_LEN: usize = 1;
 
 /// Fixed overhead of one frame: magic plus the payload count.
 pub const HEADER_LEN: usize = 6;
@@ -112,6 +127,99 @@ pub fn decode(frame: &[u8]) -> Result<Vec<Vec<u8>>, BatchError> {
     Ok(payloads)
 }
 
+/// Total wire bytes of a *traced* frame: per payload, its length and
+/// whether it carries a [`TraceContext`]. What the switchless engine
+/// charges boundary-copy costs on when tracing rides the wire.
+pub fn traced_frame_len(payloads: &[(usize, bool)]) -> usize {
+    HEADER_LEN
+        + payloads
+            .iter()
+            .map(|&(len, has_ctx)| {
+                PER_PAYLOAD_FLAG_LEN
+                    + if has_ctx { TraceContext::WIRE_LEN } else { 0 }
+                    + PER_PAYLOAD_LEN
+                    + len
+            })
+            .sum::<usize>()
+}
+
+/// Encodes payloads plus optional per-payload trace contexts into one
+/// traced batch frame.
+pub fn encode_traced(payloads: &[(&[u8], Option<TraceContext>)]) -> Vec<u8> {
+    let lens: Vec<(usize, bool)> = payloads.iter().map(|(p, c)| (p.len(), c.is_some())).collect();
+    let mut out = Vec::with_capacity(traced_frame_len(&lens));
+    out.extend_from_slice(&TRACED_MAGIC);
+    out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    for (payload, ctx) in payloads {
+        match ctx {
+            Some(ctx) => {
+                out.push(1);
+                out.extend_from_slice(&ctx.to_bytes());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// One payload decoded from a traced frame, with the trace context
+/// it carried (if any).
+pub type TracedPayload = (Vec<u8>, Option<TraceContext>);
+
+/// Decodes a traced batch frame back into payloads and their
+/// contexts.
+///
+/// # Errors
+///
+/// Same failure modes as [`decode`]; an unknown context flag byte is
+/// reported as [`BatchError::BadHeader`].
+pub fn decode_traced(frame: &[u8]) -> Result<Vec<TracedPayload>, BatchError> {
+    if frame.len() < HEADER_LEN || frame[..2] != TRACED_MAGIC {
+        return Err(BatchError::BadHeader);
+    }
+    let count = u32::from_le_bytes(frame[2..6].try_into().expect("4 bytes")) as usize;
+    let mut payloads = Vec::with_capacity(count.min(1024));
+    let mut at = HEADER_LEN;
+    for _ in 0..count {
+        if frame.len() < at + PER_PAYLOAD_FLAG_LEN {
+            return Err(BatchError::Truncated);
+        }
+        let ctx = match frame[at] {
+            0 => {
+                at += PER_PAYLOAD_FLAG_LEN;
+                None
+            }
+            1 => {
+                at += PER_PAYLOAD_FLAG_LEN;
+                if frame.len() < at + TraceContext::WIRE_LEN {
+                    return Err(BatchError::Truncated);
+                }
+                let ctx = TraceContext::from_bytes(&frame[at..]).expect("length checked");
+                at += TraceContext::WIRE_LEN;
+                Some(ctx)
+            }
+            _ => return Err(BatchError::BadHeader),
+        };
+        if frame.len() < at + PER_PAYLOAD_LEN {
+            return Err(BatchError::Truncated);
+        }
+        let len = u32::from_le_bytes(frame[at..at + PER_PAYLOAD_LEN].try_into().expect("4 bytes"))
+            as usize;
+        at += PER_PAYLOAD_LEN;
+        if frame.len() < at + len {
+            return Err(BatchError::Truncated);
+        }
+        payloads.push((frame[at..at + len].to_vec(), ctx));
+        at += len;
+    }
+    if at != frame.len() {
+        return Err(BatchError::TrailingBytes);
+    }
+    Ok(payloads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +265,47 @@ mod tests {
         let frame = encode(&[b"a".as_slice(), b"bb".as_slice(), b"ccc".as_slice()]);
         let decoded = decode(&frame).unwrap();
         assert_eq!(decoded, vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]);
+    }
+
+    #[test]
+    fn traced_frame_round_trips_mixed_contexts() {
+        let ctx = TraceContext { trace_id: 7, parent_span_id: 3 };
+        let items: Vec<(&[u8], Option<TraceContext>)> =
+            vec![(b"with".as_slice(), Some(ctx)), (b"without".as_slice(), None)];
+        let frame = encode_traced(&items);
+        assert_eq!(frame.len(), traced_frame_len(&[(4, true), (7, false)]));
+        let decoded = decode_traced(&frame).unwrap();
+        assert_eq!(decoded, vec![(b"with".to_vec(), Some(ctx)), (b"without".to_vec(), None)]);
+    }
+
+    #[test]
+    fn traced_and_classic_magics_are_disjoint() {
+        let classic = encode(&[b"x".as_slice()]);
+        assert_eq!(decode_traced(&classic), Err(BatchError::BadHeader));
+        let traced = encode_traced(&[(b"x".as_slice(), None)]);
+        assert_eq!(decode(&traced), Err(BatchError::BadHeader));
+    }
+
+    #[test]
+    fn traced_frame_rejects_corruption() {
+        let ctx = TraceContext { trace_id: 1, parent_span_id: 2 };
+        let mut frame = encode_traced(&[(b"abc".as_slice(), Some(ctx))]);
+        frame.truncate(frame.len() - 1);
+        assert_eq!(decode_traced(&frame), Err(BatchError::Truncated));
+        let mut bad_flag = encode_traced(&[(b"abc".as_slice(), None)]);
+        bad_flag[HEADER_LEN] = 9;
+        assert_eq!(decode_traced(&bad_flag), Err(BatchError::BadHeader));
+        let mut padded = encode_traced(&[(b"abc".as_slice(), None)]);
+        padded.push(0);
+        assert_eq!(decode_traced(&padded), Err(BatchError::TrailingBytes));
+    }
+
+    #[test]
+    fn traced_context_cost_is_only_paid_when_present() {
+        let with = traced_frame_len(&[(64, true)]);
+        let without = traced_frame_len(&[(64, false)]);
+        assert_eq!(with - without, TraceContext::WIRE_LEN);
+        // An untraced traced-frame costs one flag byte over classic.
+        assert_eq!(without, frame_len(&[64]) + PER_PAYLOAD_FLAG_LEN);
     }
 }

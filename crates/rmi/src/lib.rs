@@ -34,7 +34,7 @@ pub mod hash;
 pub mod registry;
 pub mod weaklist;
 
-pub use codec::{decode_value, encode_value, CodecError, DecodedValue, RefEncoding};
+pub use codec::{decode_value, encode_value, CodecError, DecodedValue, RefEncoding, TraceContext};
 pub use gc_helper::GcHelper;
 pub use hash::{HashScheme, ProxyHash, ProxyHasher};
 pub use registry::MirrorProxyRegistry;

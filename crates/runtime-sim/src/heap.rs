@@ -172,6 +172,22 @@ pub struct Heap {
     stats: HeapStats,
     observer: Option<std::sync::Arc<dyn HeapObserver>>,
     recorder: Option<std::sync::Arc<telemetry::Recorder>>,
+    trace: Option<TraceSink>,
+}
+
+/// Trace wiring installed by [`Heap::set_tracer`]: the sink, which
+/// runtime lane this heap's pauses belong to, and how to read model
+/// time (the heap itself has no cost clock — its owner lends one).
+struct TraceSink {
+    tracer: std::sync::Arc<telemetry::trace::Tracer>,
+    lane: telemetry::trace::Lane,
+    model_clock: std::sync::Arc<dyn Fn() -> u64 + Send + Sync>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink").field("lane", &self.lane).finish_non_exhaustive()
+    }
 }
 
 impl std::fmt::Debug for Heap {
@@ -200,6 +216,7 @@ impl Heap {
             stats: HeapStats::default(),
             observer: None,
             recorder: None,
+            trace: None,
         }
     }
 
@@ -214,6 +231,20 @@ impl Heap {
     /// supported; installing replaces the previous one.
     pub fn set_recorder(&mut self, recorder: std::sync::Arc<telemetry::Recorder>) {
         self.recorder = Some(recorder);
+    }
+
+    /// Installs the trace sink GC pauses are reported into: `lane`
+    /// says which runtime this isolate's heap belongs to and
+    /// `model_clock` reads the owning cost model's clock (typically
+    /// `move || cost.now_ns()`). A pause triggered mid-call nests
+    /// under the span active on the allocating thread.
+    pub fn set_tracer(
+        &mut self,
+        tracer: std::sync::Arc<telemetry::trace::Tracer>,
+        lane: telemetry::trace::Lane,
+        model_clock: std::sync::Arc<dyn Fn() -> u64 + Send + Sync>,
+    ) {
+        self.trace = Some(TraceSink { tracer, lane, model_clock });
     }
 
     /// The configuration the heap was created with.
@@ -382,6 +413,17 @@ impl Heap {
     /// weak references to dead objects are cleared.
     pub fn collect(&mut self) -> GcOutcome {
         let started = Instant::now();
+        // Open the pause span before any work so the copy phase's MEE
+        // charges (billed through the observer below) land inside it.
+        let gc_span = self.trace.as_ref().and_then(|sink| {
+            sink.tracer.start(
+                sink.lane,
+                "gc",
+                telemetry::trace::current(),
+                (sink.model_clock)(),
+                || "gc:collect".to_owned(),
+            )
+        });
         let old_len = self.arena.len();
         // Trace: mark live arena entries via BFS from roots.
         let mut live = vec![false; old_len];
@@ -455,6 +497,9 @@ impl Heap {
             rec.add(telemetry::Counter::GcBytesCopied, outcome.bytes_copied);
             rec.add(telemetry::Counter::GcBytesFreed, outcome.bytes_freed);
             rec.record(telemetry::Hist::GcPauseNs, pause_ns);
+        }
+        if let (Some(sink), Some(span)) = (&self.trace, gc_span) {
+            sink.tracer.finish(span, (sink.model_clock)());
         }
         outcome
     }

@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use telemetry::trace::Tracer;
 use telemetry::Recorder;
 
 /// Unit costs for every modelled SGX effect.
@@ -224,12 +225,15 @@ pub struct CostModel {
     origin: Instant,
     charged_ns: AtomicU64,
     recorder: Arc<Recorder>,
+    tracer: Arc<Tracer>,
 }
 
 impl CostModel {
     /// Creates a model with the given parameters and clock mode, plus a
     /// fresh [`telemetry::Recorder`] that every layer sharing this model
-    /// (enclave, heaps, RMI) reports its boundary events into.
+    /// (enclave, heaps, RMI) reports its boundary events into. Trace
+    /// events go to the process-global [`Tracer`] (disabled unless
+    /// `--trace-out` / `MONTSALVAT_TRACE=1` turns it on).
     pub fn new(params: CostParams, mode: ClockMode) -> Self {
         Self::with_recorder(params, mode, Recorder::new())
     }
@@ -238,7 +242,26 @@ impl CostModel {
     /// caller (a test, an experiment harness) wants to read one app's
     /// telemetry in isolation from every other recorder in the process.
     pub fn with_recorder(params: CostParams, mode: ClockMode, recorder: Arc<Recorder>) -> Self {
-        CostModel { params, mode, origin: Instant::now(), charged_ns: AtomicU64::new(0), recorder }
+        Self::with_recorder_and_tracer(params, mode, recorder, Arc::clone(Tracer::global()))
+    }
+
+    /// Fully explicit constructor: recorder *and* tracer supplied, so a
+    /// test can capture one app's trace in isolation.
+    pub fn with_recorder_and_tracer(
+        params: CostParams,
+        mode: ClockMode,
+        recorder: Arc<Recorder>,
+        tracer: Arc<Tracer>,
+    ) -> Self {
+        tracer.attach_recorder(&recorder);
+        CostModel {
+            params,
+            mode,
+            origin: Instant::now(),
+            charged_ns: AtomicU64::new(0),
+            recorder,
+            tracer,
+        }
     }
 
     /// The unit-cost table this model charges with.
@@ -249,6 +272,17 @@ impl CostModel {
     /// The telemetry recorder shared by every layer built on this model.
     pub fn recorder(&self) -> &Arc<Recorder> {
         &self.recorder
+    }
+
+    /// The trace sink shared by every layer built on this model.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// [`CostModel::now`] as integer nanoseconds — the model-time
+    /// timestamp trace events carry.
+    pub fn now_ns(&self) -> u64 {
+        self.now().as_nanos() as u64
     }
 
     /// The clock mode selected at construction.

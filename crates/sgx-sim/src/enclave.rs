@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use telemetry::trace::{self, Lane};
 use telemetry::{Counter, Gauge, Hist, Recorder};
 
 use crate::cost::CostModel;
@@ -257,6 +258,32 @@ impl Enclave {
         self.cost.charge_ns(self.cost.params().crossing_ns(bytes as u64));
     }
 
+    /// Runs `f` inside a transition span on `lane`. The span becomes
+    /// the current context for `f`'s duration, so nested crossings and
+    /// RMI spans parent under it — this is where the EENTER/EEXIT pair
+    /// shows up on the trace timeline.
+    fn traced_transition<R>(
+        &self,
+        lane: Lane,
+        cat: &'static str,
+        routine: &str,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let tracer = self.cost.tracer();
+        let prefix = if lane == Lane::Trusted { "ecall" } else { "ocall" };
+        let Some(span) = tracer.start(lane, cat, trace::current(), self.cost.now_ns(), || {
+            format!("{prefix}:{routine}")
+        }) else {
+            return f();
+        };
+        let out = {
+            let _scope = trace::set_current(span.context());
+            f()
+        };
+        tracer.finish(span, self.cost.now_ns());
+        out
+    }
+
     /// Enters the enclave: runs `f` as trusted code, charging one
     /// transition that carries `bytes_in` bytes inward.
     ///
@@ -266,7 +293,7 @@ impl Enclave {
     /// failure injection tripped.
     pub fn ecall<R>(
         &self,
-        _routine: &str,
+        routine: &str,
         bytes_in: usize,
         f: impl FnOnce() -> R,
     ) -> Result<R, SgxError> {
@@ -277,7 +304,7 @@ impl Enclave {
         recorder.add(Counter::BytesIn, bytes_in as u64);
         recorder.record(Hist::CrossingBytes, bytes_in as u64);
         self.charge_crossing(bytes_in);
-        Ok(f())
+        Ok(self.traced_transition(Lane::Trusted, "sgx", routine, f))
     }
 
     /// Exits the enclave: runs `f` as untrusted code, charging one
@@ -299,13 +326,15 @@ impl Enclave {
         recorder.incr(Counter::EdlDispatches);
         // The libc shim namespaces its edge routines "shim_*"; counting
         // them here keeps every shim call site automatically covered.
-        if routine.starts_with("shim_") {
+        let shim = routine.starts_with("shim_");
+        if shim {
             recorder.incr(Counter::ShimOcalls);
         }
         recorder.add(Counter::BytesOut, bytes_out as u64);
         recorder.record(Hist::CrossingBytes, bytes_out as u64);
         self.charge_crossing(bytes_out);
-        Ok(f())
+        let cat = if shim { "shim" } else { "sgx" };
+        Ok(self.traced_transition(Lane::Untrusted, cat, routine, f))
     }
 
     /// Commits `bytes` of enclave heap growth, charging EPC paging as
@@ -330,7 +359,24 @@ impl Enclave {
         recorder.add(Counter::EpcFaults, charge.faults);
         recorder.gauge_max(Gauge::EpcResidentPeak, resident);
         self.cost.charge_ns(charge.ns);
+        self.trace_aex(charge.faults);
         Ok(())
+    }
+
+    /// Marks EPC page faults on the trace: each fault implies an
+    /// asynchronous enclave exit (AEX) for the paging handler, so
+    /// bursts show up as instants inside whatever span they interrupt.
+    fn trace_aex(&self, faults: u64) {
+        if faults == 0 {
+            return;
+        }
+        self.cost.tracer().instant(
+            Lane::Trusted,
+            "sgx",
+            trace::current(),
+            self.cost.now_ns(),
+            || format!("aex:epc_faults={faults}"),
+        );
     }
 
     /// Releases `bytes` of enclave heap.
@@ -358,6 +404,7 @@ impl Enclave {
         let epc_charge = self.epc.lock().touch(bytes, params);
         recorder.add(Counter::EpcFaults, epc_charge.faults);
         self.cost.charge_ns(mee_ns + epc_charge.ns);
+        self.trace_aex(epc_charge.faults);
     }
 
     /// Runs a compute kernel inside the enclave, surcharging MEE costs
@@ -525,6 +572,36 @@ mod tests {
         e.charge_heap_traffic(512 * 1024);
         assert_eq!(e.stats().epc_faults, e.recorder().counter(Counter::EpcFaults));
         assert!(e.stats().epc_faults > 0);
+    }
+
+    #[test]
+    fn nested_transitions_trace_as_one_tree() {
+        let tracer = telemetry::trace::Tracer::new();
+        tracer.enable_with_capacity(64);
+        let cost = Arc::new(CostModel::with_recorder_and_tracer(
+            CostParams::default(),
+            ClockMode::Virtual,
+            telemetry::Recorder::new(),
+            Arc::clone(&tracer),
+        ));
+        let e = Enclave::create(&EnclaveConfig::default(), b"img", cost).unwrap();
+        e.ecall("relay", 16, || {
+            e.ocall("shim_write", 8, || ()).unwrap();
+        })
+        .unwrap();
+        let events = tracer.snapshot_events();
+        let begins: Vec<_> =
+            events.iter().filter(|ev| ev.phase == trace::TracePhase::Begin).collect();
+        assert_eq!(begins.len(), 2);
+        let ecall = begins.iter().find(|ev| ev.name == "ecall:relay").unwrap();
+        let ocall = begins.iter().find(|ev| ev.name == "ocall:shim_write").unwrap();
+        assert_eq!(ecall.lane, Lane::Trusted);
+        assert_eq!(ecall.parent_span_id, 0, "outer ecall is the root");
+        assert_eq!(ocall.lane, Lane::Untrusted);
+        assert_eq!(ocall.cat, "shim");
+        assert_eq!(ocall.parent_span_id, ecall.span_id, "ocall nests under the ecall");
+        assert_eq!(ocall.trace_id, ecall.trace_id, "one connected tree");
+        assert!(trace::current().is_none(), "context restored after the crossing");
     }
 
     #[test]

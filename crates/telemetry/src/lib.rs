@@ -27,8 +27,12 @@
 //!
 //! let snap = recorder.snapshot();
 //! assert_eq!(snap.counter(Counter::Ecalls), 1);
-//! assert!(snap.to_json().contains("montsalvat.telemetry/v1"));
+//! assert!(snap.to_json().contains("montsalvat.telemetry/v2"));
 //! ```
+//!
+//! Aggregates answer *how much*; the [`trace`] module answers *which
+//! call chain* — causal spans propagated across the enclave boundary
+//! and exported as Chrome trace-event JSON (`docs/TRACING.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,9 +40,10 @@
 mod hist;
 mod recorder;
 mod snapshot;
+pub mod trace;
 
 pub use hist::{bucket_index, bucket_upper_bound, AtomicHistogram, HistogramSnapshot, BUCKETS};
-pub use recorder::{aggregate, Recorder, Span};
+pub use recorder::{aggregate, Recorder, Span, SpanModel};
 pub use snapshot::{extract_counter, Snapshot};
 
 /// Identifier of the JSON schema emitted by [`Snapshot::to_json`].
@@ -46,7 +51,10 @@ pub use snapshot::{extract_counter, Snapshot};
 /// The suffix is a major version: metric *additions* keep the same
 /// version; renaming or removing a metric, or changing a unit, bumps
 /// it. Consumers should accept unknown metric names.
-pub const SCHEMA: &str = "montsalvat.telemetry/v1";
+///
+/// v2: histogram units now distinguish `model_ns` (cost-clock time)
+/// from `wall_ns` (host time); previously both exported as `ns`.
+pub const SCHEMA: &str = "montsalvat.telemetry/v2";
 
 macro_rules! metric_enum {
     (
@@ -151,6 +159,10 @@ metric_enum! {
         WeakDeadFound => ("rmi.weak_dead_found", "objects"),
         /// Relay method dispatches executed on a receiving world.
         RelayDispatches => ("exec.relay_dispatches", "calls"),
+        /// Trace events discarded because a ring buffer was full
+        /// (see `telemetry::trace`; `rmi.calls` reconciles against
+        /// traced spans plus this).
+        TraceDropped => ("trace.dropped", "events"),
     }
 }
 
@@ -173,15 +185,26 @@ metric_enum! {
 
 metric_enum! {
     /// Log2-bucketed distributions.
+    ///
+    /// The unit tags distinguish the two clocks in play: `model_ns`
+    /// is cost-clock time (deterministic under `ClockMode::Virtual`,
+    /// recorded via [`Recorder::record_ns`] or
+    /// [`Recorder::span_model`]), `wall_ns` is host time (recorded
+    /// via [`Recorder::span_wall`]). They must never be mixed within
+    /// one histogram.
     pub enum Hist {
         /// Model nanoseconds charged per classic (relay) RMI call.
-        RmiCallNs => ("rmi.call_ns", "ns"),
+        RmiCallNs => ("rmi.call_ns", "model_ns"),
         /// Model nanoseconds charged per switchless RMI call.
-        SwitchlessCallNs => ("rmi.switchless_call_ns", "ns"),
+        SwitchlessCallNs => ("rmi.switchless_call_ns", "model_ns"),
+        /// Model nanoseconds a switchless job waited in the mailbox
+        /// before a worker picked it up (queue wait, excluded from
+        /// execution time).
+        SwitchlessQueueWaitNs => ("rmi.switchless_queue_wait_ns", "model_ns"),
         /// Wire bytes per enclave-boundary crossing.
         CrossingBytes => ("sgx.crossing_bytes", "bytes"),
         /// Wall-clock nanoseconds per stop-and-copy collection.
-        GcPauseNs => ("gc.pause_ns", "ns"),
+        GcPauseNs => ("gc.pause_ns", "wall_ns"),
         /// Jobs served per switchless worker wakeup (batch drain size).
         SwitchlessBatchJobs => ("rmi.switchless_batch_jobs", "jobs"),
     }

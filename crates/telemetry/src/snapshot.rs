@@ -186,6 +186,6 @@ mod tests {
         snap.hists[Hist::GcPauseNs as usize].count = 4;
         snap.hists[Hist::GcPauseNs as usize].sum = 80;
         let json = snap.to_json();
-        assert!(json.contains("\"gc.pause_ns\": {\"unit\": \"ns\", \"count\": 4, \"sum\": 80, \"buckets\": [{\"lt\": 32, \"count\": 4}]}"));
+        assert!(json.contains("\"gc.pause_ns\": {\"unit\": \"wall_ns\", \"count\": 4, \"sum\": 80, \"buckets\": [{\"lt\": 32, \"count\": 4}]}"));
     }
 }

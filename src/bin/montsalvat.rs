@@ -11,6 +11,10 @@
 //! montsalvat partition app.mont --telemetry-out t.json
 //!                                          # also launch the partitioned
 //!                                          # app, run main, export metrics
+//! montsalvat partition app.mont --trace-out trace.json
+//!                                          # also capture a causal trace
+//!                                          # (Chrome/Perfetto JSON)
+//! montsalvat trace-report trace.json       # summarize a captured trace
 //! montsalvat example                       # print a sample description
 //! ```
 //!
@@ -53,22 +57,46 @@ fn main() -> ExitCode {
         Some("partition") => {
             let Some(input) = args.get(1) else {
                 eprintln!(
-                    "usage: montsalvat partition <file> [-o <outdir>] [--telemetry-out <path>]"
+                    "usage: montsalvat partition <file> [-o <outdir>] \
+                     [--telemetry-out <path>] [--trace-out <path>]"
                 );
                 return ExitCode::FAILURE;
             };
-            let outdir = args
-                .iter()
-                .position(|a| a == "-o")
-                .and_then(|i| args.get(i + 1))
-                .map(PathBuf::from);
-            let telemetry_out = args
-                .iter()
-                .position(|a| a == "--telemetry-out")
-                .and_then(|i| args.get(i + 1))
-                .map(PathBuf::from);
-            match run_partition(input, outdir.as_deref(), telemetry_out.as_deref()) {
+            let flag_path = |flag: &str| {
+                args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(PathBuf::from)
+            };
+            let outdir = flag_path("-o");
+            let telemetry_out = flag_path("--telemetry-out");
+            let trace_out = flag_path("--trace-out");
+            match run_partition(
+                input,
+                outdir.as_deref(),
+                telemetry_out.as_deref(),
+                trace_out.as_deref(),
+            ) {
                 Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("trace-report") => {
+            let Some(input) = args.get(1) else {
+                eprintln!("usage: montsalvat trace-report <trace.json> [--top <n>]");
+                return ExitCode::FAILURE;
+            };
+            let top = args
+                .iter()
+                .position(|a| a == "--top")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|n| n.parse().ok())
+                .unwrap_or(5usize);
+            match run_trace_report(input, top) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
@@ -80,9 +108,16 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("commands:");
             eprintln!("  partition <file> [-o <outdir>] [--telemetry-out <path>]");
+            eprintln!("                   [--trace-out <path>]");
             eprintln!("                                  partition a class description;");
             eprintln!("                                  with --telemetry-out, also launch");
-            eprintln!("                                  the app, run main, export metrics");
+            eprintln!("                                  the app, run main, export metrics;");
+            eprintln!("                                  with --trace-out, also capture a");
+            eprintln!("                                  causal trace (Chrome/Perfetto JSON)");
+            eprintln!("  trace-report <trace.json> [--top <n>]");
+            eprintln!("                                  summarize a --trace-out capture:");
+            eprintln!("                                  slowest call trees, per-class");
+            eprintln!("                                  profiles, model-time breakdown");
             eprintln!("  example                         print a sample description");
             ExitCode::FAILURE
         }
@@ -120,6 +155,7 @@ fn run_partition(
     input: &str,
     outdir: Option<&std::path::Path>,
     telemetry_out: Option<&std::path::Path>,
+    trace_out: Option<&std::path::Path>,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
     let program = parse_program(&text)?;
@@ -146,40 +182,280 @@ fn run_partition(
         println!("artefacts written to {}", dir.display());
     }
 
-    if let Some(path) = telemetry_out {
-        export_run_telemetry(&trusted, &untrusted, path)?;
+    if telemetry_out.is_some() || trace_out.is_some() {
+        export_run_outputs(&trusted, &untrusted, telemetry_out, trace_out)?;
     }
     Ok(())
 }
 
 /// Launches the freshly partitioned application, runs its `main` entry
 /// point, and writes the run's telemetry as versioned JSON
-/// ([`montsalvat::telemetry::SCHEMA`]) to `path`.
-fn export_run_telemetry(
+/// ([`montsalvat::telemetry::SCHEMA`]) and/or its causal trace as
+/// Chrome trace-event JSON ([`montsalvat::telemetry::trace::TRACE_SCHEMA`]).
+fn export_run_outputs(
     trusted: &montsalvat::core::image_builder::NativeImage,
     untrusted: &montsalvat::core::image_builder::NativeImage,
-    path: &std::path::Path,
+    telemetry_out: Option<&std::path::Path>,
+    trace_out: Option<&std::path::Path>,
 ) -> Result<(), String> {
     use montsalvat::core::exec::app::{AppConfig, PartitionedApp};
+    use montsalvat::telemetry::trace::Tracer;
     use montsalvat::telemetry::{Counter, Recorder};
 
     let recorder = Recorder::new();
-    let config = AppConfig { telemetry: Some(recorder.clone()), ..AppConfig::default() };
+    // A private tracer isolates this run's trace from anything else in
+    // the process; capacity comes from MONTSALVAT_TRACE_BUFFER.
+    let tracer = trace_out.map(|_| {
+        let t = Tracer::new();
+        t.enable();
+        t
+    });
+    let config = AppConfig {
+        telemetry: Some(recorder.clone()),
+        trace: tracer.clone(),
+        ..AppConfig::default()
+    };
     let app = PartitionedApp::launch(trusted, untrusted, config).map_err(|e| e.to_string())?;
     app.run_main().map_err(|e| e.to_string())?;
     let snapshot = recorder.snapshot();
     app.shutdown();
-    std::fs::write(path, snapshot.to_json())
-        .map_err(|e| format!("writing {}: {e}", path.display()))?;
-    println!(
-        "\ntelemetry ({}): {} — ecalls {}, ocalls {}, proxies {}",
-        montsalvat::telemetry::SCHEMA,
-        path.display(),
-        snapshot.counter(Counter::Ecalls),
-        snapshot.counter(Counter::Ocalls),
-        snapshot.counter(Counter::ProxiesCreated),
-    );
+    if let Some(path) = telemetry_out {
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "\ntelemetry ({}): {} — ecalls {}, ocalls {}, proxies {}",
+            montsalvat::telemetry::SCHEMA,
+            path.display(),
+            snapshot.counter(Counter::Ecalls),
+            snapshot.counter(Counter::Ocalls),
+            snapshot.counter(Counter::ProxiesCreated),
+        );
+    }
+    if let (Some(path), Some(tracer)) = (trace_out, tracer) {
+        let rmi_calls = snapshot.counter(Counter::RmiCalls);
+        let json = tracer.to_chrome_json(&[("rmi_calls", rmi_calls)]);
+        std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "trace ({}): {} — {} events, {} dropped; load in Perfetto or run \
+             `montsalvat trace-report {}`",
+            montsalvat::telemetry::trace::TRACE_SCHEMA,
+            path.display(),
+            tracer.event_count(),
+            tracer.dropped(),
+            path.display(),
+        );
+    }
     Ok(())
+}
+
+/// Reads a `--trace-out` document and renders the textual summary.
+fn run_trace_report(input: &str, top: usize) -> Result<String, String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let trace = montsalvat::telemetry::trace::parse_chrome_trace(&text)
+        .map_err(|e| format!("parsing {input}: {e}"))?;
+    Ok(render_trace_report(&trace, top))
+}
+
+/// One reconstructed span of a parsed trace.
+struct ReportSpan {
+    name: String,
+    cat: String,
+    pid: u64,
+    tid: u64,
+    parent: u64,
+    begin_ns: u64,
+    end_ns: u64,
+}
+
+impl ReportSpan {
+    fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.begin_ns)
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{}.{:03} ms", ns / 1_000_000, (ns % 1_000_000) / 1000)
+    } else {
+        format!("{}.{:03} µs", ns / 1000, ns % 1000)
+    }
+}
+
+/// Builds the report: reconciliation against telemetry, top-N slowest
+/// call trees, per-class call profiles, and a model-time breakdown by
+/// category (transitions / serialization / queue wait / GC).
+fn render_trace_report(trace: &montsalvat::telemetry::trace::ParsedTrace, top: usize) -> String {
+    use std::collections::HashMap;
+    use std::fmt::Write as _;
+
+    let mut spans: Vec<ReportSpan> = Vec::new();
+    let mut by_id: HashMap<u64, usize> = HashMap::new();
+    for ev in &trace.events {
+        match ev.ph {
+            'B' => {
+                by_id.insert(ev.span, spans.len());
+                spans.push(ReportSpan {
+                    name: ev.name.clone(),
+                    cat: ev.cat.clone(),
+                    pid: ev.pid,
+                    tid: ev.tid,
+                    parent: ev.parent,
+                    begin_ns: ev.model_ns,
+                    end_ns: ev.model_ns,
+                });
+            }
+            'E' => {
+                if let Some(&i) = by_id.get(&ev.span) {
+                    spans[i].end_ns = spans[i].end_ns.max(ev.model_ns);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut span_ids: Vec<u64> = vec![0; spans.len()];
+    for (&id, &i) in &by_id {
+        span_ids[i] = id;
+        if spans[i].parent != 0 {
+            children.entry(spans[i].parent).or_default().push(i);
+        }
+    }
+    for kids in children.values_mut() {
+        kids.sort_by_key(|&i| spans[i].begin_ns);
+    }
+
+    // Total traced model time: the sum of root-span durations. (The
+    // raw max timestamp is useless as a denominator — each launched
+    // application has its own clock origin.)
+    let tree_total: u64 =
+        (0..spans.len()).filter(|&i| spans[i].parent == 0).map(|i| spans[i].dur_ns()).sum();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== trace report ==");
+    let _ = writeln!(
+        out,
+        "events: {} spans, {} inside traced call trees",
+        spans.len(),
+        fmt_ns(tree_total)
+    );
+
+    // Reconciliation: every cross_call opens exactly one cat-"rmi"
+    // span, so telemetry's rmi.calls and the trace agree modulo drops.
+    let rmi_spans = spans.iter().filter(|s| s.cat == "rmi").count() as u64;
+    let dropped = trace.other("dropped").unwrap_or(0);
+    if let Some(rmi_calls) = trace.other("rmi_calls") {
+        let verdict = if rmi_calls == rmi_spans
+            || (rmi_spans <= rmi_calls && rmi_calls <= rmi_spans + dropped)
+        {
+            "OK"
+        } else {
+            "MISMATCH"
+        };
+        let _ = writeln!(
+            out,
+            "reconciliation: rmi.calls (telemetry) = {rmi_calls}, rmi spans (trace) = \
+             {rmi_spans}, dropped = {dropped} — {verdict}"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "reconciliation: rmi spans (trace) = {rmi_spans}, dropped = {dropped} \
+             (no rmi_calls in otherData)"
+        );
+    }
+
+    // Top-N slowest call trees (roots = spans with no parent).
+    let mut roots: Vec<usize> = (0..spans.len()).filter(|&i| spans[i].parent == 0).collect();
+    roots.sort_by_key(|&i| std::cmp::Reverse(spans[i].dur_ns()));
+    let _ = writeln!(out, "\n-- top {} slowest call trees --", top.min(roots.len()));
+    for (rank, &root) in roots.iter().take(top).enumerate() {
+        let _ =
+            writeln!(out, "#{} trace {} (lane pid {})", rank + 1, spans[root].tid, spans[root].pid);
+        let mut lines = 0usize;
+        print_tree(&mut out, &spans, &children, &span_ids, root, 1, &mut lines);
+    }
+
+    // Per-class call profile over proxy-call spans ("Class.relay").
+    let mut profile: HashMap<&str, (u64, u64, u64)> = HashMap::new();
+    for s in spans.iter().filter(|s| s.cat == "rmi") {
+        let entry = profile.entry(s.name.as_str()).or_default();
+        entry.0 += 1;
+        entry.1 += s.dur_ns();
+        entry.2 = entry.2.max(s.dur_ns());
+    }
+    let mut profile: Vec<_> = profile.into_iter().collect();
+    profile.sort_by_key(|(_, (_, total, _))| std::cmp::Reverse(*total));
+    let _ = writeln!(out, "\n-- per-class call profile (cat \"rmi\") --");
+    let _ =
+        writeln!(out, "{:<40} {:>6} {:>14} {:>14} {:>14}", "call", "count", "total", "mean", "max");
+    for (name, (count, total, max)) in &profile {
+        let _ = writeln!(
+            out,
+            "{:<40} {:>6} {:>14} {:>14} {:>14}",
+            name,
+            count,
+            fmt_ns(*total),
+            fmt_ns(total / count.max(&1)),
+            fmt_ns(*max)
+        );
+    }
+
+    // Model-time breakdown: where the modelled nanoseconds go. The
+    // categories nest (an "rmi" span contains its transition and serde
+    // spans), so each line is time inside spans of that category, not
+    // exclusive self-time.
+    let _ = writeln!(out, "\n-- model-time breakdown --");
+    for (cat, label) in [
+        ("rmi", "proxy calls (end to end)"),
+        ("sgx", "enclave transitions"),
+        ("shim", "shim-relayed I/O ocalls"),
+        ("serde", "serialization"),
+        ("queue", "switchless queue wait"),
+        ("exec", "relay execution"),
+        ("gc", "garbage collection"),
+    ] {
+        let total: u64 = spans.iter().filter(|s| s.cat == cat).map(ReportSpan::dur_ns).sum();
+        let count = spans.iter().filter(|s| s.cat == cat).count();
+        if count == 0 {
+            continue;
+        }
+        let pct = if tree_total > 0 { 100.0 * total as f64 / tree_total as f64 } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "{label:<28} {:>6} spans {:>14} ({pct:>5.1}% of traced time)",
+            count,
+            fmt_ns(total)
+        );
+    }
+    out
+}
+
+/// Prints one call tree, indentation = nesting, capped at 40 lines.
+fn print_tree(
+    out: &mut String,
+    spans: &[ReportSpan],
+    children: &std::collections::HashMap<u64, Vec<usize>>,
+    span_ids: &[u64],
+    i: usize,
+    depth: usize,
+    lines: &mut usize,
+) {
+    use std::fmt::Write as _;
+    if *lines >= 40 {
+        if *lines == 40 {
+            let _ = writeln!(out, "{}…", "  ".repeat(depth));
+            *lines += 1;
+        }
+        return;
+    }
+    let s = &spans[i];
+    let _ = writeln!(out, "{}{} [{}] {}", "  ".repeat(depth), s.name, s.cat, fmt_ns(s.dur_ns()));
+    *lines += 1;
+    if let Some(kids) = children.get(&span_ids[i]) {
+        for &kid in kids {
+            print_tree(out, spans, children, span_ids, kid, depth + 1, lines);
+        }
+    }
 }
 
 fn print_image(name: &str, classes: &[ClassDef], reach: &Reachability) {

@@ -1,0 +1,133 @@
+//! End-to-end causal-tracing integration: a partitioned run with an
+//! injected tracer produces one connected call tree per crossing — an
+//! ecall span on the trusted lane with nested shim-ocall children on
+//! the untrusted lane — exports as balanced Chrome trace-event JSON,
+//! and reconciles against telemetry (`rmi.calls` == traced rmi spans
+//! when nothing was dropped). A second test pins the overflow path:
+//! a tiny ring counts drops into `trace.dropped` without corrupting
+//! the capture.
+
+use std::sync::Arc;
+
+use montsalvat::core::exec::app::{AppConfig, PartitionedApp};
+use montsalvat::core::image_builder::{build_partitioned_images, ImageOptions};
+use montsalvat::core::samples::bank_program;
+use montsalvat::core::transform::transform;
+use montsalvat::telemetry::trace::{self, parse_chrome_trace, Tracer};
+use montsalvat::telemetry::{Counter, Recorder};
+
+/// Launches the bank sample with an injected recorder and tracer, runs
+/// `main`, then performs in-enclave scratch I/O (an ecall whose body
+/// issues shim-relayed ocalls — the nested-crossing shape the trace
+/// must reproduce as one tree).
+fn traced_run(tracer: &Arc<Tracer>) -> (PartitionedApp, Arc<Recorder>) {
+    let transformed = transform(&bank_program());
+    let (trusted, untrusted) =
+        build_partitioned_images(&transformed, &ImageOptions::default(), &ImageOptions::default())
+            .unwrap();
+    let recorder = Recorder::new();
+    let config = AppConfig {
+        gc_helper_interval: None,
+        telemetry: Some(recorder.clone()),
+        trace: Some(Arc::clone(tracer)),
+        ..AppConfig::default()
+    };
+    let app = PartitionedApp::launch(&trusted, &untrusted, config).unwrap();
+    app.run_main().unwrap();
+    app.enter_trusted(|ctx| ctx.io_write(1024)).unwrap();
+    (app, recorder)
+}
+
+#[test]
+fn crossing_produces_one_connected_tree_across_both_lanes() {
+    let tracer = Tracer::new();
+    tracer.enable_with_capacity(65_536);
+    let (app, recorder) = traced_run(&tracer);
+    let rmi_calls = recorder.counter(Counter::RmiCalls);
+    let json = tracer.to_chrome_json(&[("rmi_calls", rmi_calls)]);
+    app.shutdown();
+
+    let parsed = parse_chrome_trace(&json).unwrap();
+    assert!(!parsed.events.is_empty(), "a traced run captures events");
+    assert_eq!(parsed.other("dropped"), Some(0), "nothing dropped at this capacity");
+
+    // Balanced: every Begin has its End.
+    let begins = parsed.events.iter().filter(|e| e.ph == 'B').count();
+    let ends = parsed.events.iter().filter(|e| e.ph == 'E').count();
+    assert_eq!(begins, ends, "B/E balanced after export");
+
+    // Both runtimes show up as their own lane (Perfetto "process").
+    assert!(parsed.events.iter().any(|e| e.pid == 1), "trusted lane present");
+    assert!(parsed.events.iter().any(|e| e.pid == 2), "untrusted lane present");
+
+    // The nested-crossing shape: an ecall span on the trusted lane
+    // whose direct child is a shim ocall span on the untrusted lane,
+    // in the same trace (= one connected tree).
+    let ecalls: Vec<_> = parsed
+        .events
+        .iter()
+        .filter(|e| e.ph == 'B' && e.pid == 1 && e.cat == "sgx" && e.name.starts_with("ecall:"))
+        .collect();
+    assert!(!ecalls.is_empty(), "the run performs ecalls");
+    let nested_ocall = parsed.events.iter().any(|e| {
+        e.ph == 'B'
+            && e.pid == 2
+            && e.name.starts_with("ocall:")
+            && ecalls.iter().any(|ec| ec.span == e.parent && ec.tid == e.tid)
+    });
+    assert!(nested_ocall, "an ecall span contains an opposite-lane ocall child");
+
+    // Shim-relayed I/O is categorised separately from raw transitions.
+    assert!(
+        parsed.events.iter().any(|e| e.cat == "shim" && e.name.starts_with("ocall:shim_")),
+        "shim relays are traced under cat \"shim\""
+    );
+
+    // Reconciliation: one cat-"rmi" span per cross_call, so telemetry
+    // and the trace agree exactly in the no-drop regime.
+    let rmi_spans = parsed.events.iter().filter(|e| e.ph == 'B' && e.cat == "rmi").count() as u64;
+    assert!(rmi_calls > 0, "the bank app performs proxy calls");
+    assert_eq!(rmi_spans, rmi_calls, "rmi.calls == traced rmi spans + 0 dropped");
+    assert_eq!(parsed.other("rmi_calls"), Some(rmi_calls), "otherData carries the counter");
+
+    // Every parent pointer resolves to a span in the same trace.
+    for e in parsed.events.iter().filter(|e| e.ph == 'B' && e.parent != 0) {
+        assert!(
+            parsed.events.iter().any(|p| p.ph == 'B' && p.span == e.parent && p.tid == e.tid),
+            "parent {} of span {} resolves within trace {}",
+            e.parent,
+            e.span,
+            e.tid
+        );
+    }
+
+    // Instrumentation never leaks a context past the crossing.
+    assert!(trace::current().is_none(), "no dangling thread-local context");
+}
+
+#[test]
+fn ring_overflow_counts_drops_without_corrupting_the_capture() {
+    let tracer = Tracer::new();
+    // The minimum capacity: the bank run emits far more events/lane.
+    tracer.enable_with_capacity(8);
+    let (app, recorder) = traced_run(&tracer);
+    app.shutdown();
+
+    assert!(tracer.dropped() > 0, "a full ring counts drops");
+    assert_eq!(
+        recorder.counter(Counter::TraceDropped),
+        tracer.dropped(),
+        "drops mirror into the telemetry counter"
+    );
+    assert!(tracer.event_count() <= 16, "fill-then-drop never exceeds capacity");
+
+    // The truncated capture still exports as well-formed, balanced
+    // Chrome JSON (missing ends are synthesized at export).
+    let json = tracer.to_chrome_json(&[]);
+    let parsed = parse_chrome_trace(&json).unwrap();
+    assert!(!parsed.events.is_empty(), "the prefix of the run is retained");
+    let begins = parsed.events.iter().filter(|e| e.ph == 'B').count();
+    let ends = parsed.events.iter().filter(|e| e.ph == 'E').count();
+    assert_eq!(begins, ends, "export re-balances a truncated capture");
+    assert_eq!(parsed.other("dropped"), Some(tracer.dropped()));
+}
