@@ -17,7 +17,7 @@ use montsalvat_core::VmError;
 use runtime_sim::value::Value;
 
 use crate::progs::{graphchi_entries, graphchi_program};
-use crate::report::Scale;
+use crate::report::{Measure, Scale};
 
 /// A GraphChi deployment under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,9 +84,14 @@ fn drive(
     vertices: i64,
     edges: i64,
     shards: i64,
+    measure: Measure,
 ) -> Result<Phases, VmError> {
+    let clock = |ctx: &montsalvat_core::Ctx<'_>| match measure {
+        Measure::Simulation => ctx.cost_now(),
+        Measure::ChargedOnly => ctx.cost_charged(),
+    };
     let sharder = ctx.new_object("FastSharder", &[])?;
-    let t0 = ctx.cost_now();
+    let t0 = clock(ctx);
     ctx.call(
         &sharder,
         "shard",
@@ -98,10 +103,10 @@ fn drive(
             Value::Int(4242),
         ],
     )?;
-    let t1 = ctx.cost_now();
+    let t1 = clock(ctx);
     let engine = ctx.new_object("GraphChiEngine", &[])?;
     let checksum = ctx.call(&engine, "run", &[Value::from(dir), Value::Int(ITERATIONS)])?;
-    let t2 = ctx.cost_now();
+    let t2 = clock(ctx);
     let sum = checksum.as_float().ok_or_else(|| VmError::Type("run must return a float".into()))?;
     if !sum.is_finite() || sum <= 0.0 {
         return Err(VmError::App(format!("pagerank checksum {sum} out of range")));
@@ -110,8 +115,21 @@ fn drive(
 }
 
 /// Runs one configuration on a `(vertices, edges)` graph with `shards`
-/// shards.
+/// shards, in simulation time (see [`Measure::Simulation`]).
 pub fn run_config(config: GraphConfig, vertices: i64, edges: i64, shards: i64) -> GraphRun {
+    run_config_measured(config, vertices, edges, shards, Measure::Simulation)
+}
+
+/// Runs one configuration under the given measurement.
+/// [`Measure::ChargedOnly`] phase times are pure model charges — the
+/// deterministic variant the shape tests assert on.
+pub fn run_config_measured(
+    config: GraphConfig,
+    vertices: i64,
+    edges: i64,
+    shards: i64,
+    measure: Measure,
+) -> GraphRun {
     let dir = work_dir(config.label());
     let dir_str = dir.to_string_lossy().into_owned();
     let jvm = JvmModel::default();
@@ -126,7 +144,7 @@ pub fn run_config(config: GraphConfig, vertices: i64, edges: i64, shards: i64) -
             let app = PartitionedApp::launch(&trusted, &untrusted, app_config)
                 .expect("launch partitioned graphchi");
             let phases = app
-                .enter_untrusted(|ctx| drive(ctx, &dir_str, vertices, edges, shards))
+                .enter_untrusted(|ctx| drive(ctx, &dir_str, vertices, edges, shards, measure))
                 .expect("graphchi runs");
             GraphRun {
                 shards: shards as u32,
@@ -154,7 +172,7 @@ pub fn run_config(config: GraphConfig, vertices: i64, edges: i64, shards: i64) -
             let app = SingleWorldApp::launch(&image, deployment.placement(), app_config)
                 .expect("launch single-world graphchi");
             let phases = app
-                .enter(|ctx| drive(ctx, &dir_str, vertices, edges, shards))
+                .enter(|ctx| drive(ctx, &dir_str, vertices, edges, shards, measure))
                 .expect("graphchi runs");
             GraphRun {
                 shards: shards as u32,

@@ -16,6 +16,7 @@
 //! | [`paldb`] | Fig. 7, Fig. 10 (PalDB) |
 //! | [`graph`] | Fig. 9, Fig. 11 (GraphChi PageRank) |
 //! | [`spec`] | Fig. 12, Table 1 (SPECjvm2008) |
+//! | [`tuning`] | Switchless-tuner policy comparison (`switchless_tuning`) |
 //!
 //! Pass `--quick` to any binary for a shrunk run.
 
@@ -27,5 +28,6 @@ pub mod progs;
 pub mod report;
 pub mod spec;
 pub mod synthetic;
+pub mod tuning;
 
 pub use report::Scale;

@@ -77,19 +77,11 @@ fn store_path(tag: &str) -> std::path::PathBuf {
 /// is what the `--quick` shape checks rely on.
 pub const WORKLOAD_SEED: i64 = 77;
 
-/// How a run's elapsed `seconds` are read off the cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Measure {
-    /// Simulation time: real elapsed time plus model charges
-    /// ([`CostModel::now`](sgx_sim::cost::CostModel::now)). Matches how
-    /// the paper timed its runs, but inherits host noise.
-    Simulation,
-    /// Model charges only
-    /// ([`CostModel::charged`](sgx_sim::cost::CostModel::charged)):
-    /// deterministic for a fixed [`WORKLOAD_SEED`], used at
-    /// [`Scale::Quick`] so CI shape checks need no retries.
-    ChargedOnly,
-}
+/// How a run's elapsed `seconds` are read off the cost model
+/// (re-exported from [`crate::report`]; [`Measure::ChargedOnly`] is
+/// deterministic for a fixed [`WORKLOAD_SEED`], used at
+/// [`Scale::Quick`] so CI shape checks need no retries).
+pub use crate::report::Measure;
 
 fn drive(ctx: &mut montsalvat_core::Ctx<'_>, path: &str, n: i64) -> Result<i64, VmError> {
     let seed = WORKLOAD_SEED;

@@ -8,7 +8,7 @@ use runtime_sim::value::Value;
 use specjvm::Workload;
 
 use crate::progs::{specjvm_entries, specjvm_program};
-use crate::report::Scale;
+use crate::report::{Measure, Scale};
 
 /// One measured cell of Figure 12.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,8 +21,22 @@ pub struct SpecRun {
     pub seconds: f64,
 }
 
-/// Runs one workload under one deployment.
+/// Runs one workload under one deployment in simulation time (see
+/// [`Measure::Simulation`]).
 pub fn run_one(workload: Workload, deployment: Deployment, scale: Scale) -> SpecRun {
+    run_one_measured(workload, deployment, scale, Measure::Simulation)
+}
+
+/// Runs one workload under the given measurement.
+/// [`Measure::ChargedOnly`] reads pure model charges (plus the
+/// deployment's constant startup), the deterministic variant the shape
+/// tests assert on.
+pub fn run_one_measured(
+    workload: Workload,
+    deployment: Deployment,
+    scale: Scale,
+    measure: Measure,
+) -> SpecRun {
     let divisor = match scale {
         Scale::Full => 1i64,
         Scale::Quick => 16,
@@ -37,7 +51,11 @@ pub fn run_one(workload: Workload, deployment: Deployment, scale: Scale) -> Spec
     let app = SingleWorldApp::launch(&image, deployment.placement(), app_config)
         .expect("launch specjvm app");
     let cost = std::sync::Arc::clone(&app.shared.cost);
-    let start = cost.now();
+    let clock = |cost: &sgx_sim::cost::CostModel| match measure {
+        Measure::Simulation => cost.now(),
+        Measure::ChargedOnly => cost.charged(),
+    };
+    let start = clock(&cost);
     app.enter(|ctx| {
         let bench = ctx.new_object("Bench", &[])?;
         let checksum = ctx.call(&bench, "run", &[Value::Int(divisor)])?;
@@ -48,7 +66,7 @@ pub fn run_one(workload: Workload, deployment: Deployment, scale: Scale) -> Spec
         Ok(())
     })
     .expect("specjvm bench runs");
-    let seconds = (cost.now() - start).as_secs_f64() + startup;
+    let seconds = (clock(&cost) - start).as_secs_f64() + startup;
     SpecRun { workload, deployment, seconds }
 }
 

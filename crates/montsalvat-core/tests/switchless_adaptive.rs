@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use montsalvat_core::annotation::Side;
 use montsalvat_core::exec::app::{AppConfig, PartitionedApp};
+use montsalvat_core::exec::switchless::tuner::TunerConfig;
 use montsalvat_core::exec::switchless::SwitchlessConfig;
 use montsalvat_core::image_builder::{build_partitioned_images, ImageOptions};
 use montsalvat_core::samples::bank_program;
@@ -130,6 +131,102 @@ fn adaptive_engine_reports_wakes_and_bounded_queue_depth() {
         (config.min_workers as u64..=config.max_workers as u64).contains(&peak_workers),
         "worker peak {peak_workers} outside configured bounds"
     );
+}
+
+/// Regression (PR 4): the crossing accounting must survive the tuner
+/// actively resizing pools. An aggressively-configured trace-driven
+/// tuner (tick every 2 posts, act on 1 sample, grow on any wait above
+/// ~1% of a crossing) with the miss engine effectively disabled is
+/// driven until it records decisions — then every crossing must still
+/// be exactly one hit or one fallback, the queue-wait histogram must
+/// hold exactly one sample per hit (every post was traced), and the
+/// worker count must stay inside its configured bounds throughout.
+#[test]
+fn tuner_resizing_preserves_crossing_and_queue_wait_accounting() {
+    let tracer = telemetry::trace::Tracer::new();
+    tracer.enable_with_capacity(1 << 20);
+    let config = SwitchlessConfig {
+        min_workers: 1,
+        max_workers: 4,
+        mailbox_capacity: 2,
+        // Park the miss engine so observed scaling is the tuner's.
+        scale_up_misses: 1_000_000,
+        idle_park: Duration::from_millis(5),
+        autotune: Some(TunerConfig {
+            interval_calls: 2,
+            min_samples: 1,
+            up_wait_pct: 1,
+            ..TunerConfig::default()
+        }),
+        ..SwitchlessConfig::default()
+    };
+    let tp = transform(&bank_program());
+    let options = ImageOptions::with_entry_points(entries());
+    let (t, u) = build_partitioned_images(&tp, &options, &options).unwrap();
+    let app_config = AppConfig {
+        gc_helper_interval: None,
+        switchless: Some(config.clone()),
+        trace: Some(Arc::clone(&tracer)),
+        ..AppConfig::default()
+    };
+    let app = Arc::new(PartitionedApp::launch(&t, &u, app_config).unwrap());
+
+    // Drive concurrent load until the tuner has demonstrably acted,
+    // sampling the worker-count invariant the whole time.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let app = Arc::clone(&app);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    assert_eq!(run_bank(&app), Value::Int(75));
+                }
+            }));
+        }
+        while handles.iter().any(|h| !h.is_finished()) {
+            let stats = app.switchless_stats().unwrap();
+            for side in [stats.trusted, stats.untrusted] {
+                assert!(side.workers >= config.min_workers, "below min: {stats:?}");
+                assert!(side.workers <= config.max_workers, "above max: {stats:?}");
+            }
+            std::thread::yield_now();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = app.telemetry_snapshot();
+        if snap.counter(telemetry::Counter::SwitchlessTuneUps) > 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "tuner never recorded a decision: {snap:?}");
+    }
+
+    let snap = app.telemetry_snapshot();
+    // Every crossing is exactly one of: switchless hit, classic
+    // fallback — per calling world, tuner or no tuner.
+    for side in [Side::Trusted, Side::Untrusted] {
+        let world = app.world_stats(side);
+        assert_eq!(
+            world.rmi_calls,
+            world.switchless_calls + world.switchless_fallbacks,
+            "{side}: crossing accounting broke under tuner resizing"
+        );
+    }
+    // Queue-wait reconciliation: the tracer was on for every post, so
+    // each served (hit) job recorded exactly one wait sample.
+    assert_eq!(
+        snap.hist(telemetry::Hist::SwitchlessQueueWaitNs).count,
+        snap.counter(telemetry::Counter::SwitchlessCalls),
+        "one queue-wait sample per traced switchless hit"
+    );
+    // The decisions are visible downstream: counters and the
+    // last-value batch gauge stay within the tuner's bounds.
+    let target = snap.gauge(telemetry::Gauge::SwitchlessTargetBatch);
+    let limit = TunerConfig::default().batch_limit as u64;
+    assert!((1..=limit).contains(&target), "batch target {target} outside [1, {limit}]");
+    let peak = snap.gauge(telemetry::Gauge::SwitchlessWorkersPeak);
+    assert!(peak <= config.max_workers as u64, "worker peak {peak} beyond max");
 }
 
 proptest! {

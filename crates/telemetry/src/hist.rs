@@ -119,6 +119,44 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.sum = self.sum.wrapping_add(other.sum);
     }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`): the exclusive upper
+    /// bound of the bucket holding the `ceil(q * count)`-th smallest
+    /// observation. Resolution is therefore a factor of two, which is
+    /// all the power-of-two bucketing can promise. Returns 0 when the
+    /// snapshot is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return bucket_upper_bound(index);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Returns the observations recorded since `earlier` was taken,
+    /// assuming `earlier` is a prefix of this snapshot (same histogram,
+    /// snapshotted earlier). Subtraction saturates bucket-wise so a
+    /// racy pair of snapshots degrades to undercounting instead of
+    /// wrapping.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, (now, old)) in buckets.iter_mut().zip(self.buckets.iter().zip(&earlier.buckets)) {
+            *out = now.saturating_sub(*old);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.wrapping_sub(earlier.sum),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +223,53 @@ mod tests {
         assert_eq!(merged.sum, 106);
         assert_eq!(merged.buckets[bucket_index(3)], 2);
         assert_eq!(merged.buckets[bucket_index(100)], 1);
+    }
+
+    #[test]
+    fn quantile_returns_bucket_upper_bounds() {
+        let h = AtomicHistogram::new();
+        for v in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // 3 lands in [2, 4); nine of ten samples are there.
+        assert_eq!(snap.quantile(0.5), 4);
+        assert_eq!(snap.quantile(0.9), 4);
+        // 1000 lands in [512, 1024); only the max reaches it.
+        assert_eq!(snap.quantile(1.0), 1024);
+        assert_eq!(snap.quantile(0.0), 4, "q=0 is the first observation's bucket");
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        assert_eq!(HistogramSnapshot::default().quantile(0.95), 0);
+    }
+
+    #[test]
+    fn diff_recovers_the_window() {
+        let h = AtomicHistogram::new();
+        h.record(5);
+        h.record(20);
+        let earlier = h.snapshot();
+        h.record(5);
+        h.record(4096);
+        let window = h.snapshot().diff(&earlier);
+        assert_eq!(window.count, 2);
+        assert_eq!(window.sum, 5 + 4096);
+        assert_eq!(window.buckets[bucket_index(5)], 1);
+        assert_eq!(window.buckets[bucket_index(4096)], 1);
+        assert_eq!(window.buckets[bucket_index(20)], 0);
+    }
+
+    #[test]
+    fn diff_saturates_instead_of_wrapping() {
+        let a = HistogramSnapshot::default();
+        let mut b = HistogramSnapshot::default();
+        b.buckets[3] = 2;
+        b.count = 2;
+        let window = a.diff(&b);
+        assert_eq!(window.count, 0);
+        assert!(window.buckets.iter().all(|&c| c == 0));
     }
 
     #[test]

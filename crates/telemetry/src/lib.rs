@@ -139,6 +139,12 @@ metric_enum! {
         SwitchlessScaleUps => ("rmi.switchless_scale_ups", "events"),
         /// Adaptive scale-down events (an idle worker retired).
         SwitchlessScaleDowns => ("rmi.switchless_scale_downs", "events"),
+        /// Trace-driven tuner decisions that grew capacity (worker
+        /// target raised or batch bound raised).
+        SwitchlessTuneUps => ("rmi.switchless_tune_ups", "events"),
+        /// Trace-driven tuner decisions that shrank capacity (worker
+        /// target lowered or batch bound lowered).
+        SwitchlessTuneDowns => ("rmi.switchless_tune_downs", "events"),
         /// Payload bytes serialized for cross-world messages.
         BytesSerialized => ("rmi.bytes_serialized", "bytes"),
         /// Bytes produced by the value codec when encoding.
@@ -180,6 +186,10 @@ metric_enum! {
         SwitchlessWorkersPeak => ("rmi.switchless_workers_peak", "workers"),
         /// Peak queued jobs observed in a switchless mailbox.
         SwitchlessQueueDepthPeak => ("rmi.switchless_queue_depth_peak", "jobs"),
+        /// Most recent per-drain batch bound chosen by the tuner
+        /// (last-value, via [`Recorder::gauge_set`]; equals the
+        /// configured `max_batch` until the tuner changes it).
+        SwitchlessTargetBatch => ("rmi.switchless_target_batch", "jobs"),
     }
 }
 

@@ -80,6 +80,13 @@ impl Recorder {
         self.gauges[gauge as usize].fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Overwrites a gauge with `value` (last-value semantics, for
+    /// gauges that track a current setting rather than a peak — e.g.
+    /// [`Gauge::SwitchlessTargetBatch`]).
+    pub fn gauge_set(&self, gauge: Gauge, value: u64) {
+        self.gauges[gauge as usize].store(value, Ordering::Relaxed);
+    }
+
     /// Reads a gauge's high-water mark.
     pub fn gauge(&self, gauge: Gauge) -> u64 {
         self.gauges[gauge as usize].load(Ordering::Relaxed)
@@ -203,6 +210,14 @@ mod tests {
         assert_eq!(r.counter(Counter::Ecalls), 1);
         assert_eq!(r.counter(Counter::BytesIn), 100);
         assert_eq!(r.gauge(Gauge::RegistrySizePeak), 5);
+    }
+
+    #[test]
+    fn gauge_set_overwrites_rather_than_maxing() {
+        let r = Recorder::new();
+        r.gauge_set(Gauge::SwitchlessTargetBatch, 8);
+        r.gauge_set(Gauge::SwitchlessTargetBatch, 2);
+        assert_eq!(r.gauge(Gauge::SwitchlessTargetBatch), 2);
     }
 
     #[test]

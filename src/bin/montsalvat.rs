@@ -427,6 +427,37 @@ fn render_trace_report(trace: &montsalvat::telemetry::trace::ParsedTrace, top: u
             fmt_ns(total)
         );
     }
+
+    // Tuner decisions: the switchless controller emits one zero-width
+    // cat-"queue" mark per applied decision, named
+    // `tune:<side> <reason> workers=<n> batch=<n> p95=<ns>ns`.
+    // Group by side + reason so the report shows which branch of the
+    // control law drove the run.
+    let tunes: Vec<&ReportSpan> =
+        spans.iter().filter(|s| s.cat == "queue" && s.name.starts_with("tune:")).collect();
+    if !tunes.is_empty() {
+        let mut by_kind: HashMap<String, u64> = HashMap::new();
+        for s in &tunes {
+            let kind = s
+                .name
+                .trim_start_matches("tune:")
+                .split_whitespace()
+                .take(2)
+                .collect::<Vec<_>>()
+                .join(" ");
+            *by_kind.entry(kind).or_default() += 1;
+        }
+        let mut by_kind: Vec<_> = by_kind.into_iter().collect();
+        by_kind.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let _ = writeln!(out, "\n-- switchless tuner decisions --");
+        let _ = writeln!(out, "{} decisions applied", tunes.len());
+        for (kind, count) in &by_kind {
+            let _ = writeln!(out, "{kind:<28} {count:>6}");
+        }
+        if let Some(last) = tunes.iter().max_by_key(|s| s.begin_ns) {
+            let _ = writeln!(out, "last: {}", last.name);
+        }
+    }
     out
 }
 
@@ -588,5 +619,29 @@ mod tests {
     fn dangling_calls_are_caught_by_validation() {
         let err = parse_program("class A\n  static m 0 calls Ghost.x\nmain A.m").unwrap_err();
         assert!(err.contains("Ghost"), "{err}");
+    }
+
+    #[test]
+    fn trace_report_summarises_tuner_decisions() {
+        use montsalvat::telemetry::trace::{parse_chrome_trace, Lane, Tracer};
+        let tracer = Tracer::new();
+        tracer.enable_with_capacity(64);
+        for (i, mark) in [
+            "tune:trusted queue-pressure workers=2 batch=4 p95=90000ns",
+            "tune:trusted queue-pressure workers=3 batch=4 p95=91000ns",
+            "tune:trusted idle-waits workers=2 batch=4 p95=1000ns",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let at = 1_000 * (i as u64 + 1);
+            tracer.span_at(Lane::Trusted, "queue", None, at, at, at, || (*mark).to_owned());
+        }
+        let parsed = parse_chrome_trace(&tracer.to_chrome_json(&[])).unwrap();
+        let report = render_trace_report(&parsed, 3);
+        assert!(report.contains("switchless tuner decisions"), "{report}");
+        assert!(report.contains("3 decisions applied"), "{report}");
+        assert!(report.contains("trusted queue-pressure") && report.contains("2"), "{report}");
+        assert!(report.contains("last: tune:trusted idle-waits"), "{report}");
     }
 }

@@ -10,11 +10,13 @@
 use std::sync::Arc;
 
 use montsalvat::core::exec::app::{AppConfig, PartitionedApp};
+use montsalvat::core::exec::switchless::tuner::TunerConfig;
+use montsalvat::core::exec::switchless::SwitchlessConfig;
 use montsalvat::core::image_builder::{build_partitioned_images, ImageOptions};
 use montsalvat::core::samples::bank_program;
 use montsalvat::core::transform::transform;
 use montsalvat::telemetry::trace::{self, parse_chrome_trace, Tracer};
-use montsalvat::telemetry::{Counter, Recorder};
+use montsalvat::telemetry::{Counter, Gauge, Hist, Recorder};
 
 /// Launches the bank sample with an injected recorder and tracer, runs
 /// `main`, then performs in-enclave scratch I/O (an ecall whose body
@@ -103,6 +105,110 @@ fn crossing_produces_one_connected_tree_across_both_lanes() {
 
     // Instrumentation never leaks a context past the crossing.
     assert!(trace::current().is_none(), "no dangling thread-local context");
+}
+
+/// Regression (PR 4): trace/telemetry reconciliation must survive the
+/// trace-driven tuner resizing pools mid-run. An aggressive tuner on a
+/// switchless app is driven until it records decisions; afterwards the
+/// capture must still balance, `rmi.calls` must still equal the traced
+/// rmi spans (nothing dropped at this capacity), every traced hit must
+/// have recorded exactly one queue-wait histogram sample and one
+/// cat-`queue` wait span, and the tuner's own decisions must be
+/// visible as `tune:` marks.
+#[test]
+fn autotuned_run_keeps_trace_and_telemetry_reconciled() {
+    let tracer = Tracer::new();
+    tracer.enable_with_capacity(1 << 20);
+    let transformed = transform(&bank_program());
+    let (trusted, untrusted) =
+        build_partitioned_images(&transformed, &ImageOptions::default(), &ImageOptions::default())
+            .unwrap();
+    let recorder = Recorder::new();
+    let config = AppConfig {
+        gc_helper_interval: None,
+        telemetry: Some(recorder.clone()),
+        trace: Some(Arc::clone(&tracer)),
+        switchless: Some(SwitchlessConfig {
+            min_workers: 1,
+            max_workers: 4,
+            mailbox_capacity: 2,
+            autotune: Some(TunerConfig {
+                interval_calls: 2,
+                min_samples: 1,
+                up_wait_pct: 1,
+                ..TunerConfig::default()
+            }),
+            ..SwitchlessConfig::default()
+        }),
+        ..AppConfig::default()
+    };
+    let app = Arc::new(PartitionedApp::launch(&trusted, &untrusted, config).unwrap());
+
+    // Concurrent load until the tuner demonstrably acted.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let app = Arc::clone(&app);
+            handles.push(std::thread::spawn(move || {
+                app.run_main().unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        if recorder.counter(Counter::SwitchlessTuneUps) > 0 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "tuner never recorded a decision");
+    }
+
+    let rmi_calls = recorder.counter(Counter::RmiCalls);
+    let hits = recorder.counter(Counter::SwitchlessCalls);
+    let fallbacks = recorder.counter(Counter::SwitchlessFallbacks);
+    let snap = recorder.snapshot();
+    let json = tracer.to_chrome_json(&[]);
+    match Arc::try_unwrap(app) {
+        Ok(app) => app.shutdown(),
+        Err(_) => panic!("no other app handles remain"),
+    }
+
+    let parsed = parse_chrome_trace(&json).unwrap();
+    assert_eq!(parsed.other("dropped"), Some(0), "nothing dropped at this capacity");
+    let begins = parsed.events.iter().filter(|e| e.ph == 'B').count();
+    let ends = parsed.events.iter().filter(|e| e.ph == 'E').count();
+    assert_eq!(begins, ends, "B/E balanced with tuner spans in the capture");
+
+    // Crossing accounting under active resizing.
+    assert_eq!(rmi_calls, hits + fallbacks, "every crossing is one hit or one fallback");
+    let rmi_spans = parsed.events.iter().filter(|e| e.ph == 'B' && e.cat == "rmi").count() as u64;
+    assert_eq!(rmi_spans, rmi_calls, "rmi.calls == traced rmi spans");
+
+    // Queue-wait reconciliation: one histogram sample and one
+    // cat-`queue` wait span per traced hit.
+    assert_eq!(snap.hist(Hist::SwitchlessQueueWaitNs).count, hits);
+    let wait_spans = parsed
+        .events
+        .iter()
+        .filter(|e| e.ph == 'B' && e.cat == "queue" && e.name.starts_with("queue-wait:"))
+        .count() as u64;
+    assert_eq!(wait_spans, hits, "one queue-wait span per switchless hit");
+
+    // Tuner decisions are visible both ways: counters and marks.
+    let tune_marks = parsed
+        .events
+        .iter()
+        .filter(|e| e.ph == 'B' && e.cat == "queue" && e.name.starts_with("tune:"))
+        .count() as u64;
+    assert!(tune_marks >= 1, "decisions appear as tune: marks");
+    let decisions = recorder.counter(Counter::SwitchlessTuneUps)
+        + recorder.counter(Counter::SwitchlessTuneDowns);
+    assert!(
+        tune_marks <= decisions,
+        "at most one mark per counted decision: {tune_marks} marks, {decisions} decisions"
+    );
+    let target = recorder.gauge(Gauge::SwitchlessTargetBatch);
+    assert!(target >= 1, "batch gauge tracks a live value");
 }
 
 #[test]
