@@ -12,7 +12,7 @@
 //! (same placement, JVM execution model).
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -69,6 +69,14 @@ pub struct AppConfig {
     /// ([`telemetry::trace::Tracer::global`]), which captures nothing
     /// until enabled; inject one to isolate a run's trace.
     pub trace: Option<Arc<telemetry::trace::Tracer>>,
+    /// Whether boundary crossings use the wire-format-v2 serde fast
+    /// path (shape-cached interned hints, pooled buffers, bulk
+    /// primitive encoding — see `docs/SERDE.md`). `None` reads
+    /// `MONTSALVAT_SERDE_FASTPATH` at launch (default: enabled);
+    /// `Some(_)` pins the mode regardless of the environment. The
+    /// running application can be re-toggled through
+    /// [`AppShared::set_serde_fastpath`].
+    pub serde_fastpath: Option<bool>,
 }
 
 impl Default for AppConfig {
@@ -85,6 +93,50 @@ impl Default for AppConfig {
             switchless: None,
             telemetry: None,
             trace: None,
+            serde_fastpath: None,
+        }
+    }
+}
+
+/// `MONTSALVAT_SERDE_FASTPATH=0|off|false` disables the v2 fast path
+/// process-wide; anything else (or unset) enables it.
+fn serde_fastpath_from_env() -> bool {
+    match std::env::var("MONTSALVAT_SERDE_FASTPATH") {
+        Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+        Err(_) => true,
+    }
+}
+
+/// Per-application serde fast-path state: the class-name interner
+/// shared by both runtimes (modelling the per-peer tables each side
+/// builds from the `Named` hints it has seen), one shape cache per
+/// side (class ids are world-local, so the caches must not mix), and
+/// the run-time fast-path switch.
+#[derive(Debug)]
+pub(crate) struct SerdeState {
+    pub(crate) fastpath: AtomicBool,
+    pub(crate) names: rmi::NameInterner,
+    shapes_trusted: rmi::ShapeCache,
+    shapes_untrusted: rmi::ShapeCache,
+}
+
+impl SerdeState {
+    fn new(config: &AppConfig) -> Self {
+        SerdeState {
+            fastpath: AtomicBool::new(
+                config.serde_fastpath.unwrap_or_else(serde_fastpath_from_env),
+            ),
+            names: rmi::NameInterner::new(),
+            shapes_trusted: rmi::ShapeCache::new(),
+            shapes_untrusted: rmi::ShapeCache::new(),
+        }
+    }
+
+    /// The shape cache for classes of `side`'s world.
+    pub(crate) fn shapes(&self, side: Side) -> &rmi::ShapeCache {
+        match side {
+            Side::Trusted => &self.shapes_trusted,
+            Side::Untrusted => &self.shapes_untrusted,
         }
     }
 }
@@ -118,6 +170,7 @@ pub struct AppShared {
     trusted: Arc<World>,
     untrusted: Arc<World>,
     pub(crate) switchless: parking_lot::Mutex<Option<Arc<crate::exec::switchless::SwitchlessPool>>>,
+    pub(crate) serde: SerdeState,
 }
 
 impl AppShared {
@@ -127,6 +180,25 @@ impl AppShared {
             Side::Trusted => &self.trusted,
             Side::Untrusted => &self.untrusted,
         }
+    }
+
+    /// Whether crossings currently use the wire-format-v2 serde fast
+    /// path (see [`AppConfig::serde_fastpath`]).
+    pub fn serde_fastpath(&self) -> bool {
+        self.serde.fastpath.load(Ordering::Relaxed)
+    }
+
+    /// Switches the serde fast path on or off at run time. Both modes
+    /// decode either wire format, so in-flight messages are unaffected;
+    /// ablations use this to compare modes within one process.
+    pub fn set_serde_fastpath(&self, on: bool) {
+        self.serde.fastpath.store(on, Ordering::Relaxed);
+    }
+
+    /// Number of distinct class names interned by crossing hints so
+    /// far — stable across steady-state crossings (names cross once).
+    pub fn serde_interned_names(&self) -> usize {
+        self.serde.names.len()
     }
 }
 
@@ -318,6 +390,7 @@ impl PartitionedApp {
             trusted,
             untrusted,
             switchless: parking_lot::Mutex::new(None),
+            serde: SerdeState::new(&config),
         });
         if let Some(sw_config) = &config.switchless {
             // MONTSALVAT_AUTOTUNE=1/0 attaches or detaches the
@@ -568,6 +641,7 @@ impl SingleWorldApp {
             trusted: Arc::clone(&world),
             untrusted: world,
             switchless: parking_lot::Mutex::new(None),
+            serde: SerdeState::new(&config),
         });
         let main = find_main(image)?;
         Ok(SingleWorldApp { shared, enclave, placement, main, workdir, owns_workdir })

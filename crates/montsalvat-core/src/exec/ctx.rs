@@ -32,10 +32,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rmi::codec::{self, CodecError, RefEncoding, TraceContext};
+use rmi::codec::{self, CodecError, EncodeStats, RefEncoding, TraceContext};
 use rmi::hash::ProxyHash;
+use rmi::pool::PooledBuf;
+use rmi::shape::NameRef;
 use runtime_sim::heap::{GcOutcome, Heap};
-use runtime_sim::value::{ObjId, Value};
+use runtime_sim::value::{ClassId, ObjId, Value};
 use telemetry::trace::{self, SpanContext};
 
 use crate::annotation::Side;
@@ -141,16 +143,16 @@ impl<'a> Ctx<'a> {
         let id = recv
             .as_ref_id()
             .ok_or_else(|| VmError::Type(format!("receiver of `{method}` is not an object")))?;
-        let class = self.world.class_of_obj(id)?.clone();
-        let def = class
-            .def
-            .find_method(method)
-            .ok_or_else(|| VmError::UnknownMethod {
-                class: class.def.name.clone(),
-                method: method.to_owned(),
-            })?
-            .clone();
-        let v = exec_method(self.app, &self.world, &class, &def, Some(id), args)?;
+        // Borrow class metadata through a clone of the world handle:
+        // the index is immutable for the app's lifetime, so the hot
+        // path copies no `ClassInfo`/`MethodDef` (and no name strings).
+        let world = Arc::clone(&self.world);
+        let class = world.class_of_obj(id)?;
+        let def = class.def.find_method(method).ok_or_else(|| VmError::UnknownMethod {
+            class: class.def.name.clone(),
+            method: method.to_owned(),
+        })?;
+        let v = exec_method(self.app, &world, class, def, Some(id), args)?;
         self.adopt(&v);
         Ok(v)
     }
@@ -167,19 +169,16 @@ impl<'a> Ctx<'a> {
         method: &str,
         args: &[Value],
     ) -> Result<Value, VmError> {
-        let class = self.world.class_by_name(class_name)?.clone();
-        let def = class
-            .def
-            .find_method(method)
-            .ok_or_else(|| VmError::UnknownMethod {
-                class: class_name.to_owned(),
-                method: method.to_owned(),
-            })?
-            .clone();
+        let world = Arc::clone(&self.world);
+        let class = world.class_by_name(class_name)?;
+        let def = class.def.find_method(method).ok_or_else(|| VmError::UnknownMethod {
+            class: class_name.to_owned(),
+            method: method.to_owned(),
+        })?;
         if def.kind != MethodKind::Static {
             return Err(VmError::Type(format!("`{class_name}.{method}` is not static")));
         }
-        let v = exec_method(self.app, &self.world, &class, &def, None, args)?;
+        let v = exec_method(self.app, &world, class, def, None, args)?;
         self.adopt(&v);
         Ok(v)
     }
@@ -195,7 +194,8 @@ impl<'a> Ctx<'a> {
         let id = obj
             .as_ref_id()
             .ok_or_else(|| VmError::Type(format!("field `{field}` read on a non-object")))?;
-        let class = self.world.class_of_obj(id)?.clone();
+        let world = Arc::clone(&self.world);
+        let class = world.class_of_obj(id)?;
         if class.def.role == ClassRole::Proxy {
             return Err(VmError::Type(format!(
                 "cannot read field `{field}` of proxy `{}`; call an accessor method",
@@ -206,8 +206,7 @@ impl<'a> Ctx<'a> {
             class: class.def.name.clone(),
             field: field.to_owned(),
         })?;
-        let v = self
-            .world
+        let v = world
             .isolate
             .with_heap(|h| h.field(id, idx).cloned())
             .ok_or_else(|| VmError::BadRef(format!("{id} died mid-read")))?;
@@ -224,7 +223,8 @@ impl<'a> Ctx<'a> {
         let id = obj
             .as_ref_id()
             .ok_or_else(|| VmError::Type(format!("field `{field}` write on a non-object")))?;
-        let class = self.world.class_of_obj(id)?.clone();
+        let world = Arc::clone(&self.world);
+        let class = world.class_of_obj(id)?;
         if class.def.role == ClassRole::Proxy {
             return Err(VmError::Type(format!(
                 "cannot write field `{field}` of proxy `{}`",
@@ -235,7 +235,7 @@ impl<'a> Ctx<'a> {
             class: class.def.name.clone(),
             field: field.to_owned(),
         })?;
-        let ok = self.world.isolate.with_heap(|h| h.set_field(id, idx, value));
+        let ok = world.isolate.with_heap(|h| h.set_field(id, idx, value));
         if ok {
             Ok(())
         } else {
@@ -453,20 +453,27 @@ fn open_scratch(app: &AppShared, world: &World) -> Result<IoFile, VmError> {
 /// hash reference in the payload, the codec-encoded payload, and — when
 /// tracing is on — the caller's trace context, so a request served on
 /// another thread (switchless) still parents under the caller's span.
+///
+/// The payload buffer is pooled ([`rmi::pool`]): steady-state crossings
+/// reuse encode capacity instead of allocating, and each hint carries a
+/// [`NameRef`] — the interned class-name id after the class's first
+/// crossing — instead of a cloned `String`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct WireMsg {
     pub recv_hash: Option<ProxyHash>,
-    pub hints: Vec<(ProxyHash, String)>,
-    pub payload: Vec<u8>,
+    pub hints: Vec<(ProxyHash, NameRef)>,
+    pub payload: PooledBuf,
     pub trace: Option<TraceContext>,
 }
 
 impl WireMsg {
     /// Total bytes that cross the boundary for this message. A trace
     /// context costs its wire bytes plus the presence flag; an untraced
-    /// message is byte-identical to the pre-tracing format.
+    /// v1 message is byte-identical to the pre-tracing format (a hint's
+    /// name costs 16 hash bytes plus its [`NameRef::wire_len`], which
+    /// for a full name matches the old `20 + len`).
     pub(crate) fn wire_len(&self) -> usize {
-        17 + self.hints.iter().map(|(_, c)| 20 + c.len()).sum::<usize>()
+        17 + self.hints.iter().map(|(_, n)| 16 + n.wire_len()).sum::<usize>()
             + 4
             + self.payload.len()
             + self.trace.map_or(0, |_| 1 + TraceContext::WIRE_LEN)
@@ -489,16 +496,31 @@ impl WireMsg {
 /// Marshals `values` for a crossing out of `world`.
 ///
 /// Neutral objects inline; annotated objects export/reuse a hash.
+///
+/// Two encode paths share this function (`docs/SERDE.md`):
+///
+/// - the **classic** path reproduces the v1 wire format and its
+///   allocation profile (fresh payload buffer, full class name per
+///   hint);
+/// - the **fast** path ([`AppShared::serde_fastpath`]) encodes wire
+///   format v2 into a pooled buffer, skips the annotated-ref heap walk
+///   when the arguments contain no references at all, and hints by
+///   interned name id after a class's first crossing.
 fn marshal(app: &AppShared, world: &World, values: &[Value]) -> Result<WireMsg, VmError> {
+    let rec = app.cost.recorder();
+    rec.incr(telemetry::Counter::SerdeEncodeCalls);
+    let fast = app.serde_fastpath();
     let tracer = app.cost.tracer();
-    let serde_span =
-        tracer.start(world.side.lane(), "serde", trace::current(), app.cost.now_ns(), || {
-            "marshal".to_owned()
-        });
+    let begin_model_ns = app.cost.now_ns();
+    let begin_wall_ns = tracer.wall_now_ns();
+
     // Pass 1: find annotated references reachable through inline
-    // (neutral) structure.
+    // (neutral) structure. The fast path skips the walk outright for
+    // reference-free arguments (the common primitive/bulk crossing);
+    // the classic path always walks, like v1 did.
     let mut annotated: Vec<ObjId> = Vec::new();
-    {
+    let walk = !fast || values.iter().any(has_refs);
+    if walk {
         let heap = world.isolate.lock_heap();
         let mut stack: Vec<Value> = values.to_vec();
         let mut visited: std::collections::HashSet<ObjId> = std::collections::HashSet::new();
@@ -530,12 +552,13 @@ fn marshal(app: &AppShared, world: &World, values: &[Value]) -> Result<WireMsg, 
     // Pass 2: ensure every annotated object has a hash (reading proxy
     // hashes, exporting concrete objects on first crossing).
     let mut hash_map: std::collections::HashMap<ObjId, ProxyHash> = Default::default();
-    let mut hints: Vec<(ProxyHash, String)> = Vec::new();
-    {
+    let mut hints: Vec<(ProxyHash, NameRef)> = Vec::new();
+    if !annotated.is_empty() {
         let mut rmi = world.rmi.lock();
         let mut heap = world.isolate.lock_heap();
         for id in annotated {
-            let info = world.classes.by_id(heap.class_of(id).expect("live")).expect("indexed");
+            let class_id = heap.class_of(id).expect("live");
+            let info = world.classes.by_id(class_id).expect("indexed");
             let hash = if info.def.role == ClassRole::Proxy {
                 read_proxy_hash(&heap, id)?
             } else if let Some(&h) = rmi.hash_of.get(&id) {
@@ -546,30 +569,109 @@ fn marshal(app: &AppShared, world: &World, values: &[Value]) -> Result<WireMsg, 
                 rmi.hash_of.insert(id, h);
                 h
             };
-            hints.push((hash, info.def.name.clone()));
+            hints.push((hash, hint_name(app, world, info, class_id, fast)));
             hash_map.insert(id, hash);
         }
     }
 
     // Pass 3: encode with a pure policy.
-    let payload =
-        {
-            let heap = world.isolate.lock_heap();
-            codec::encode_value(&heap, &Value::List(values.to_vec()), &mut |id| match hash_map
-                .get(&id)
-            {
-                Some(&h) => Ok(RefEncoding::Hash(h)),
-                None => Ok(RefEncoding::Inline),
-            })?
+    let (payload, stats) = {
+        let heap = world.isolate.lock_heap();
+        let mut policy = |id: ObjId| match hash_map.get(&id) {
+            Some(&h) => Ok(RefEncoding::Hash(h)),
+            None => Ok(RefEncoding::Inline),
         };
+        if fast {
+            let mut buf = rmi::pool::acquire();
+            let stats = codec::encode_values_v2(&heap, values, &mut policy, &mut buf)?;
+            (buf, stats)
+        } else {
+            let bytes = codec::encode_value(&heap, &Value::List(values.to_vec()), &mut policy)?;
+            let stats = EncodeStats { total_bytes: bytes.len() as u64, bulk_bytes: 0 };
+            (PooledBuf::from_vec(bytes), stats)
+        }
+    };
+
     // Serialization walks the object graph; inside the enclave every
     // read goes through the MEE, hence the enclave factor on encode.
-    charge_serde(app, world, payload.len(), true);
-    app.cost.recorder().add(telemetry::Counter::CodecBytesOut, payload.len() as u64);
-    if let Some(span) = serde_span {
-        tracer.finish(span, app.cost.now_ns());
+    // Bulk-encoded bytes bill at the cheap single-memcpy rate.
+    let charged_ns = charge_serde(app, world, stats.element_bytes(), stats.bulk_bytes, true);
+    rec.add(telemetry::Counter::CodecBytesOut, payload.len() as u64);
+    if fast {
+        rec.incr(telemetry::Counter::SerdeFastPathHits);
+        rec.add(telemetry::Counter::SerdeBulkBytes, stats.bulk_bytes);
+        if payload.was_pooled() {
+            rec.add(telemetry::Counter::SerdePooledBytes, payload.len() as u64);
+        }
+        rec.record(telemetry::Hist::SerdeEncodeFastNs, charged_ns);
+    } else {
+        rec.incr(telemetry::Counter::SerdeSlowPathHits);
+        rec.record(telemetry::Hist::SerdeEncodeClassicNs, charged_ns);
     }
+    // The span name carries the payload size (`b=`), which the
+    // trace-report CLI attributes to the enclosing rmi span's class.
+    tracer.span_at(
+        world.side.lane(),
+        "serde",
+        trace::current(),
+        begin_model_ns,
+        app.cost.now_ns(),
+        begin_wall_ns,
+        || format!("marshal:{} b={}", if fast { "fast" } else { "classic" }, payload.len()),
+    );
     Ok(WireMsg { recv_hash: None, hints, payload, trace: None })
+}
+
+/// Whether a value contains any heap reference (cheap shallow check —
+/// `for_each_ref` descends lists without touching the heap).
+fn has_refs(v: &Value) -> bool {
+    let mut found = false;
+    v.for_each_ref(&mut |_| found = true);
+    found
+}
+
+/// Produces a hint's class-name encoding, compiling the class's shape
+/// on its first crossing. Fast path: the full name crosses exactly once
+/// per class, the 4-byte intern id thereafter. Classic path: the full
+/// name every time (v1 wire behaviour), but shared out of the interner
+/// so no per-crossing `String` clone remains.
+fn hint_name(
+    app: &AppShared,
+    world: &World,
+    info: &ClassInfo,
+    class_id: ClassId,
+    fast: bool,
+) -> NameRef {
+    let shapes = app.serde.shapes(world.side);
+    let (shape, first) = match shapes.get(class_id) {
+        Some(shape) => (shape, false),
+        None => {
+            app.cost.recorder().incr(telemetry::Counter::SerdeShapeCacheMisses);
+            (shapes.insert(class_id, compile_shape(app, info)), true)
+        }
+    };
+    if fast && !first {
+        NameRef::Id(shape.name_id)
+    } else {
+        let name =
+            app.serde.names.resolve(shape.name_id).expect("compiled shapes intern their name");
+        NameRef::Named(shape.name_id, name)
+    }
+}
+
+/// Compiles the per-class facts reused on every later crossing of the
+/// class. Hints exist only for annotated classes, which always cross as
+/// a 17-byte hash reference (tag + 16 hash bytes), so their encoded
+/// width is fixed; a proxy's single field is the raw hash bytes, hence
+/// primitive-only.
+fn compile_shape(app: &AppShared, info: &ClassInfo) -> rmi::CompiledShape {
+    let (name_id, _) = app.serde.names.intern(&info.def.name);
+    rmi::CompiledShape {
+        field_count: info.def.fields.len() as u32,
+        primitive_only: info.def.role == ClassRole::Proxy,
+        fixed_width: Some(17),
+        name_id,
+    }
 }
 
 /// Reads the `__hash` field of a proxy object.
@@ -597,19 +699,17 @@ fn unmarshal(
     msg: &WireMsg,
 ) -> Result<(Vec<Value>, Vec<ObjId>), VmError> {
     let tracer = app.cost.tracer();
-    let serde_span =
-        tracer.start(world.side.lane(), "serde", trace::current(), app.cost.now_ns(), || {
-            "unmarshal".to_owned()
-        });
+    let begin_model_ns = app.cost.now_ns();
+    let begin_wall_ns = tracer.wall_now_ns();
     let mut pins: Vec<ObjId> = Vec::new();
     let mut by_hash: std::collections::HashMap<ProxyHash, ObjId> = Default::default();
 
     // Resolve every hinted hash to a local object: the mirror if its
     // home is here, an existing live proxy, or a freshly created proxy.
-    {
+    if !msg.hints.is_empty() {
         let mut rmi = world.rmi.lock();
         let mut heap = world.isolate.lock_heap();
-        for (hash, class_name) in &msg.hints {
+        for (hash, name_ref) in &msg.hints {
             if let Some(mirror) = rmi.registry.get(*hash) {
                 by_hash.insert(*hash, mirror);
                 continue;
@@ -622,12 +722,11 @@ fn unmarshal(
                     continue;
                 }
             }
-            let info = world.classes.by_name(class_name).ok_or_else(|| {
-                VmError::UnknownClass(format!("{class_name} (from crossing hint)"))
-            })?;
+            let info = resolve_hint_class(app, world, name_ref)?;
             if info.def.role != ClassRole::Proxy {
                 return Err(VmError::BadRef(format!(
-                    "hash hint for `{class_name}` does not name a proxy class here"
+                    "hash hint for `{}` does not name a proxy class here",
+                    info.def.name
                 )));
             }
             let proxy = heap.alloc(info.id, vec![hash_value(*hash)])?;
@@ -648,12 +747,20 @@ fn unmarshal(
         })?
     };
     // Decoding streams a linear buffer; enclave writes are charged by
-    // the heap observer, so no extra factor here.
-    charge_serde(app, world, msg.payload.len(), false);
+    // the heap observer, so no extra factor here. Bytes that arrived
+    // through v2 bulk tags decode as straight copies at the bulk rate.
+    let element = (msg.payload.len() as u64).saturating_sub(decoded.bulk_bytes);
+    charge_serde(app, world, element, decoded.bulk_bytes, false);
     app.cost.recorder().add(telemetry::Counter::CodecBytesIn, msg.payload.len() as u64);
-    if let Some(span) = serde_span {
-        tracer.finish(span, app.cost.now_ns());
-    }
+    tracer.span_at(
+        world.side.lane(),
+        "serde",
+        trace::current(),
+        begin_model_ns,
+        app.cost.now_ns(),
+        begin_wall_ns,
+        || format!("unmarshal b={}", msg.payload.len()),
+    );
     pins.extend(decoded.allocated.iter().copied());
     match decoded.value {
         Value::List(vs) => Ok((vs, pins)),
@@ -661,12 +768,55 @@ fn unmarshal(
     }
 }
 
-/// Charges serialization work for `bytes`; encodes performed inside the
-/// enclave pay the enclave factor (MEE reads along the graph walk).
-fn charge_serde(app: &AppShared, world: &World, bytes: usize, encoding: bool) {
+/// Resolves a hint's class-name encoding against the receiving world.
+/// A [`NameRef::Named`] hint populates the app's interner (the
+/// receiving side learns the name); a [`NameRef::Id`] hint must
+/// reference an already-interned name — i.e. the full name crossed
+/// earlier, which the fast-path encoder guarantees.
+fn resolve_hint_class<'w>(
+    app: &AppShared,
+    world: &'w World,
+    name_ref: &NameRef,
+) -> Result<&'w ClassInfo, VmError> {
+    match name_ref {
+        NameRef::Named(_, name) => {
+            app.serde.names.intern(name);
+            world
+                .classes
+                .by_name(name)
+                .ok_or_else(|| VmError::UnknownClass(format!("{name} (from crossing hint)")))
+        }
+        NameRef::Id(id) => {
+            let name = app.serde.names.resolve(*id).ok_or_else(|| {
+                VmError::BadRef(format!("crossing hint names un-interned class id {id}"))
+            })?;
+            world
+                .classes
+                .by_name(&name)
+                .ok_or_else(|| VmError::UnknownClass(format!("{name} (from crossing hint)")))
+        }
+    }
+}
+
+/// Charges serialization work, split by rate: `element_bytes` pay the
+/// per-element graph-walk rate, `bulk_bytes` (single-memcpy encodings)
+/// the cheap bulk rate. Encodes performed inside the enclave pay the
+/// enclave factor on both (MEE reads along the walk). Returns the
+/// modelled nanoseconds charged — recorded into the per-path encode
+/// histograms.
+fn charge_serde(
+    app: &AppShared,
+    world: &World,
+    element_bytes: u64,
+    bulk_bytes: u64,
+    encoding: bool,
+) -> u64 {
     let params = app.cost.params();
     let factor = if encoding && world.in_enclave { params.serde_enclave_factor } else { 1.0 };
-    app.cost.charge_ns((bytes as f64 * params.serde_ns_per_byte * factor) as u64);
+    let ns = (element_bytes as f64 * params.serde_ns_per_byte * factor
+        + bulk_bytes as f64 * params.serde_bulk_ns_per_byte * factor) as u64;
+    app.cost.charge_ns(ns);
+    ns
 }
 
 fn release_pins(world: &World, pins: &[ObjId]) {
@@ -755,11 +905,11 @@ pub(crate) fn construct(
     class_name: &str,
     args: &[Value],
 ) -> Result<Value, VmError> {
-    let info = world.class_by_name(class_name)?.clone();
+    let info = world.class_by_name(class_name)?;
     if info.def.role == ClassRole::Proxy {
-        construct_proxy(app, world, &info, args)
+        construct_proxy(app, world, info, args)
     } else {
-        construct_local(app, world, &info, args)
+        construct_local(app, world, info, args)
     }
 }
 
@@ -776,8 +926,8 @@ fn construct_local(
         h.add_root(id); // in-flight
         Ok::<_, runtime_sim::heap::OutOfMemory>(id)
     })?;
-    if let Some(ctor) = info.def.find_method(CTOR).cloned() {
-        match exec_method(app, world, info, &ctor, Some(obj), args) {
+    if let Some(ctor) = info.def.find_method(CTOR) {
+        match exec_method(app, world, info, ctor, Some(obj), args) {
             Ok(ret) => release(world, &ret), // constructors return unit
             Err(e) => {
                 world.isolate.with_heap(|h| h.remove_root(obj));
@@ -984,24 +1134,19 @@ fn serve_relay_inner(
     relay: &str,
     msg: &WireMsg,
 ) -> Result<WireMsg, VmError> {
-    let info = callee.class_by_name(class_name)?.clone();
-    let relay_def = info
-        .def
-        .find_method(relay)
-        .ok_or_else(|| {
-            VmError::Sgx(sgx_sim::SgxError::InterfaceMismatch {
-                routine: format!("{class_name}.{relay}"),
-            })
-        })?
-        .clone();
+    let info = callee.class_by_name(class_name)?;
+    let relay_def = info.def.find_method(relay).ok_or_else(|| {
+        VmError::Sgx(sgx_sim::SgxError::InterfaceMismatch {
+            routine: format!("{class_name}.{relay}"),
+        })
+    })?;
     let MethodBody::Relay { target, is_ctor } = &relay_def.body else {
         return Err(VmError::Type(format!("`{class_name}.{relay}` is not a relay")));
     };
-    let target_def = info
-        .def
-        .find_method(target)
-        .ok_or_else(|| VmError::UnknownMethod { class: class_name.into(), method: target.clone() })?
-        .clone();
+    let target_def = info.def.find_method(target).ok_or_else(|| VmError::UnknownMethod {
+        class: class_name.into(),
+        method: target.clone(),
+    })?;
 
     let (args, pins) = unmarshal(app, callee, msg)?;
 
@@ -1009,7 +1154,7 @@ fn serve_relay_inner(
         let hash = msg.recv_hash.ok_or_else(|| {
             VmError::BadRef(format!("constructor relay `{relay}` without a proxy hash"))
         })?;
-        let mirror_val = construct_local(app, callee, &info, &args)?;
+        let mirror_val = construct_local(app, callee, info, &args)?;
         let mirror = mirror_val.as_ref_id().expect("construct returns a reference");
         {
             let mut rmi = callee.rmi.lock();
@@ -1023,7 +1168,7 @@ fn serve_relay_inner(
         release(callee, &mirror_val);
         Ok(Value::Unit)
     } else if target_def.kind == MethodKind::Static {
-        exec_method(app, callee, &info, &target_def, None, &args)
+        exec_method(app, callee, info, target_def, None, &args)
     } else {
         let hash = msg.recv_hash.ok_or_else(|| {
             VmError::BadRef(format!("instance relay `{relay}` without a proxy hash"))
@@ -1033,7 +1178,7 @@ fn serve_relay_inner(
             rmi.registry.get(hash)
         }
         .ok_or_else(|| VmError::BadRef(format!("no mirror registered for hash {hash}")))?;
-        exec_method(app, callee, &info, &target_def, Some(mirror), &args)
+        exec_method(app, callee, info, target_def, Some(mirror), &args)
     };
 
     let outcome = result.and_then(|ret| {

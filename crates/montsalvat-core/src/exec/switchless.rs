@@ -743,7 +743,7 @@ mod tests {
     }
 
     fn msg() -> WireMsg {
-        WireMsg { recv_hash: None, hints: Vec::new(), payload: vec![1, 2, 3], trace: None }
+        WireMsg { recv_hash: None, hints: Vec::new(), payload: vec![1, 2, 3].into(), trace: None }
     }
 
     fn model() -> Arc<CostModel> {

@@ -35,6 +35,7 @@
 //! context used by classic crossings does not reach them.
 
 use crate::codec::TraceContext;
+use crate::pool::{self, PooledBuf};
 
 /// The two magic bytes opening every batch frame.
 pub const MAGIC: [u8; 2] = *b"MB";
@@ -82,10 +83,12 @@ pub fn frame_len(payload_lens: &[usize]) -> usize {
     HEADER_LEN + payload_lens.iter().map(|l| PER_PAYLOAD_LEN + l).sum::<usize>()
 }
 
-/// Encodes `payloads` into one batch frame.
-pub fn encode(payloads: &[&[u8]]) -> Vec<u8> {
-    let mut out =
-        Vec::with_capacity(frame_len(&payloads.iter().map(|p| p.len()).collect::<Vec<_>>()));
+/// Encodes `payloads` into one batch frame. The frame buffer comes
+/// from the thread-local [`crate::pool`], so a drain loop assembling
+/// one frame per wakeup reuses the same allocation.
+pub fn encode(payloads: &[&[u8]]) -> PooledBuf {
+    let mut out = pool::acquire();
+    out.reserve(frame_len(&payloads.iter().map(|p| p.len()).collect::<Vec<_>>()));
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
     for p in payloads {
@@ -144,10 +147,11 @@ pub fn traced_frame_len(payloads: &[(usize, bool)]) -> usize {
 }
 
 /// Encodes payloads plus optional per-payload trace contexts into one
-/// traced batch frame.
-pub fn encode_traced(payloads: &[(&[u8], Option<TraceContext>)]) -> Vec<u8> {
+/// traced batch frame, assembled in a pooled buffer like [`encode`].
+pub fn encode_traced(payloads: &[(&[u8], Option<TraceContext>)]) -> PooledBuf {
     let lens: Vec<(usize, bool)> = payloads.iter().map(|(p, c)| (p.len(), c.is_some())).collect();
-    let mut out = Vec::with_capacity(traced_frame_len(&lens));
+    let mut out = pool::acquire();
+    out.reserve(traced_frame_len(&lens));
     out.extend_from_slice(&TRACED_MAGIC);
     out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
     for (payload, ctx) in payloads {
@@ -253,7 +257,8 @@ mod tests {
         assert_eq!(decode(b"XX\0\0\0\0"), Err(BatchError::BadHeader));
         assert_eq!(decode(b"MB"), Err(BatchError::BadHeader));
         let mut frame = encode(&[b"abc".as_slice()]);
-        frame.truncate(frame.len() - 1);
+        let cut = frame.len() - 1;
+        frame.truncate(cut);
         assert_eq!(decode(&frame), Err(BatchError::Truncated));
         let mut padded = encode(&[b"abc".as_slice()]);
         padded.push(0);
@@ -290,7 +295,8 @@ mod tests {
     fn traced_frame_rejects_corruption() {
         let ctx = TraceContext { trace_id: 1, parent_span_id: 2 };
         let mut frame = encode_traced(&[(b"abc".as_slice(), Some(ctx))]);
-        frame.truncate(frame.len() - 1);
+        let cut = frame.len() - 1;
+        frame.truncate(cut);
         assert_eq!(decode_traced(&frame), Err(BatchError::Truncated));
         let mut bad_flag = encode_traced(&[(b"abc".as_slice(), None)]);
         bad_flag[HEADER_LEN] = 9;

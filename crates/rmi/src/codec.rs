@@ -12,6 +12,25 @@
 //! The caller supplies the policy that decides, per object reference,
 //! whether to inline or hash-reference it — keeping the codec free of
 //! class-annotation knowledge.
+//!
+//! Two wire formats coexist (`docs/SERDE.md`):
+//!
+//! - **v1** (`montsalvat.rmi/v1`) — the original tag stream, produced
+//!   by [`encode_value`]. Still decoded for compatibility.
+//! - **v2** (`montsalvat.rmi/v2`) — opens with [`WIRE_V2_MARKER`]
+//!   (a byte no v1 stream can start with, so [`decode_value`] sniffs
+//!   the version) and adds *bulk* tags: `Value::Bytes` and
+//!   primitive-homogeneous `Value::List`s encode as one
+//!   length-prefixed memcpy instead of one tag per element.
+//!   [`encode_value_v2`] / [`encode_values_v2`] write into a
+//!   caller-supplied (typically pooled — see [`crate::pool`]) buffer
+//!   and report how many payload bytes went through the bulk path so
+//!   the cost model can charge them at the cheaper bulk rate.
+//!
+//! Decoding either format refuses nesting deeper than
+//! [`MAX_DECODE_DEPTH`] with [`CodecError::TooDeep`] — malformed or
+//! adversarial payloads must not overflow the stack inside the
+//! enclave.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -95,6 +114,8 @@ pub enum CodecError {
     UnknownHash(ProxyHash),
     /// The receiving heap refused the allocation.
     AllocFailed(String),
+    /// The stream nested values deeper than [`MAX_DECODE_DEPTH`].
+    TooDeep,
 }
 
 impl fmt::Display for CodecError {
@@ -109,6 +130,9 @@ impl fmt::Display for CodecError {
             CodecError::BadBackRef(i) => write!(f, "back-reference {i} out of range"),
             CodecError::UnknownHash(h) => write!(f, "unresolvable object hash {h}"),
             CodecError::AllocFailed(m) => write!(f, "receiver allocation failed: {m}"),
+            CodecError::TooDeep => {
+                write!(f, "value nesting exceeds the decode depth bound {MAX_DECODE_DEPTH}")
+            }
         }
     }
 }
@@ -125,6 +149,39 @@ const TAG_LIST: u8 = 6;
 const TAG_OBJ: u8 = 7;
 const TAG_BACKREF: u8 = 8;
 const TAG_HASHREF: u8 = 9;
+// v2-only bulk tags: a homogeneous primitive list as one raw copy.
+const TAG_INTS: u8 = 10;
+const TAG_FLOATS: u8 = 11;
+
+/// First byte of every v2 stream. No v1 stream can start with it (v1
+/// first bytes are the tags `0..=9`), so [`decode_value`] accepts both
+/// formats through one entry point.
+pub const WIRE_V2_MARKER: u8 = 0xF2;
+
+/// Maximum value-nesting depth [`decode_value`] accepts before
+/// returning [`CodecError::TooDeep`]. Deep enough for any legitimate
+/// object graph (cycles and sharing flatten through back-references),
+/// shallow enough that decoding runs in bounded stack space.
+pub const MAX_DECODE_DEPTH: usize = 128;
+
+/// Byte accounting from a v2 encode, for split-rate cost charging:
+/// `bulk_bytes` moved through a single-memcpy bulk tag and are charged
+/// at `serde_bulk_ns_per_byte`; the remaining
+/// [`EncodeStats::element_bytes`] paid the per-element graph walk.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeStats {
+    /// Total bytes this encode appended to the output buffer.
+    pub total_bytes: u64,
+    /// Payload bytes written by bulk (single-memcpy) tags.
+    pub bulk_bytes: u64,
+}
+
+impl EncodeStats {
+    /// Bytes that took the per-element path (tags, headers, scalars).
+    pub fn element_bytes(&self) -> u64 {
+        self.total_bytes - self.bulk_bytes
+    }
+}
 
 /// Encodes `value` against `heap`, consulting `policy` for every object
 /// reference encountered.
@@ -139,8 +196,96 @@ pub fn encode_value(
 ) -> Result<Vec<u8>, CodecError> {
     let mut out = Vec::new();
     let mut seen: HashMap<ObjId, u32> = HashMap::new();
-    encode_inner(heap, value, policy, &mut seen, &mut out)?;
+    let mut bulk = 0;
+    encode_inner(heap, value, policy, &mut seen, &mut out, false, &mut bulk)?;
     Ok(out)
+}
+
+/// Encodes `value` in wire format v2 into `out`, appending.
+///
+/// The buffer is caller-supplied so steady-state crossings can reuse a
+/// pooled one ([`crate::pool::acquire`]). Returns the byte accounting
+/// for split-rate cost charging.
+///
+/// # Errors
+///
+/// Same failure modes as [`encode_value`].
+pub fn encode_value_v2(
+    heap: &Heap,
+    value: &Value,
+    policy: &mut impl FnMut(ObjId) -> Result<RefEncoding, CodecError>,
+    out: &mut Vec<u8>,
+) -> Result<EncodeStats, CodecError> {
+    let start = out.len();
+    let mut seen: HashMap<ObjId, u32> = HashMap::new();
+    let mut bulk = 0;
+    out.push(WIRE_V2_MARKER);
+    encode_inner(heap, value, policy, &mut seen, out, true, &mut bulk)?;
+    Ok(EncodeStats { total_bytes: (out.len() - start) as u64, bulk_bytes: bulk })
+}
+
+/// Encodes an argument slice as one v2 list without materialising a
+/// `Value::List` (the v1 marshal path cloned every argument into one).
+/// Decodes as a `Value::List` of the arguments.
+///
+/// # Errors
+///
+/// Same failure modes as [`encode_value`].
+pub fn encode_values_v2(
+    heap: &Heap,
+    values: &[Value],
+    policy: &mut impl FnMut(ObjId) -> Result<RefEncoding, CodecError>,
+    out: &mut Vec<u8>,
+) -> Result<EncodeStats, CodecError> {
+    let start = out.len();
+    let mut seen: HashMap<ObjId, u32> = HashMap::new();
+    let mut bulk = 0;
+    out.push(WIRE_V2_MARKER);
+    encode_list(heap, values, policy, &mut seen, out, true, &mut bulk)?;
+    Ok(EncodeStats { total_bytes: (out.len() - start) as u64, bulk_bytes: bulk })
+}
+
+/// Encodes a list body, taking the bulk path (v2 only) when every
+/// element is the same fixed-width primitive.
+fn encode_list(
+    heap: &Heap,
+    vs: &[Value],
+    policy: &mut impl FnMut(ObjId) -> Result<RefEncoding, CodecError>,
+    seen: &mut HashMap<ObjId, u32>,
+    out: &mut Vec<u8>,
+    v2: bool,
+    bulk: &mut u64,
+) -> Result<(), CodecError> {
+    if v2 && !vs.is_empty() {
+        if vs.iter().all(|v| matches!(v, Value::Int(_))) {
+            out.push(TAG_INTS);
+            out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+            for v in vs {
+                if let Value::Int(i) = v {
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+            }
+            *bulk += 8 * vs.len() as u64;
+            return Ok(());
+        }
+        if vs.iter().all(|v| matches!(v, Value::Float(_))) {
+            out.push(TAG_FLOATS);
+            out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+            for v in vs {
+                if let Value::Float(x) = v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            *bulk += 8 * vs.len() as u64;
+            return Ok(());
+        }
+    }
+    out.push(TAG_LIST);
+    out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+    for v in vs {
+        encode_inner(heap, v, policy, seen, out, v2, bulk)?;
+    }
+    Ok(())
 }
 
 fn encode_inner(
@@ -149,6 +294,8 @@ fn encode_inner(
     policy: &mut impl FnMut(ObjId) -> Result<RefEncoding, CodecError>,
     seen: &mut HashMap<ObjId, u32>,
     out: &mut Vec<u8>,
+    v2: bool,
+    bulk: &mut u64,
 ) -> Result<(), CodecError> {
     match value {
         Value::Unit => out.push(TAG_UNIT),
@@ -173,14 +320,11 @@ fn encode_inner(
             out.push(TAG_BYTES);
             out.extend_from_slice(&(b.len() as u32).to_le_bytes());
             out.extend_from_slice(b);
-        }
-        Value::List(vs) => {
-            out.push(TAG_LIST);
-            out.extend_from_slice(&(vs.len() as u32).to_le_bytes());
-            for v in vs {
-                encode_inner(heap, v, policy, seen, out)?;
+            if v2 {
+                *bulk += b.len() as u64;
             }
         }
+        Value::List(vs) => encode_list(heap, vs, policy, seen, out, v2, bulk)?,
         Value::Ref(id) => {
             if let Some(&idx) = seen.get(id) {
                 out.push(TAG_BACKREF);
@@ -194,15 +338,15 @@ fn encode_inner(
                 }
                 RefEncoding::Inline => {
                     let class = heap.class_of(*id).ok_or(CodecError::DeadRef(*id))?;
-                    let fields = heap.fields(*id).ok_or(CodecError::DeadRef(*id))?.to_vec();
+                    let fields = heap.fields(*id).ok_or(CodecError::DeadRef(*id))?;
                     // Register before encoding fields so cycles terminate.
                     let idx = seen.len() as u32;
                     seen.insert(*id, idx);
                     out.push(TAG_OBJ);
                     out.extend_from_slice(&class.0.to_le_bytes());
                     out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
-                    for f in &fields {
-                        encode_inner(heap, f, policy, seen, out)?;
+                    for f in fields {
+                        encode_inner(heap, f, policy, seen, out, v2, bulk)?;
                     }
                 }
             }
@@ -222,6 +366,12 @@ pub struct DecodedValue {
     pub value: Value,
     /// Objects allocated by the decode, in allocation order.
     pub allocated: Vec<ObjId>,
+    /// Payload bytes that arrived through v2 bulk encodings
+    /// ([`Value::Bytes`] bodies, `TAG_INTS`/`TAG_FLOATS` element
+    /// blocks) and decode as straight copies — the cost model bills
+    /// them at the bulk rate instead of the graph-walk rate. Always
+    /// `0` for a v1 stream.
+    pub bulk_bytes: u64,
 }
 
 impl DecodedValue {
@@ -236,18 +386,28 @@ impl DecodedValue {
 
 /// Decodes a value into `heap`, resolving hash references via `resolve`.
 ///
+/// Accepts both wire formats: a stream opening with
+/// [`WIRE_V2_MARKER`] decodes as v2 (bulk tags allowed), anything
+/// else as v1 — v1 payloads remain decodable unchanged.
+///
 /// # Errors
 ///
-/// Fails on malformed input, unresolvable hashes, or allocation failure.
+/// Fails on malformed input, unresolvable hashes, allocation failure,
+/// or nesting beyond [`MAX_DECODE_DEPTH`].
 pub fn decode_value(
     heap: &mut Heap,
     bytes: &[u8],
     resolve: &mut impl FnMut(ProxyHash) -> Result<Value, CodecError>,
 ) -> Result<DecodedValue, CodecError> {
-    let mut cursor = Cursor { bytes, pos: 0 };
+    let (v2, body) = match bytes.first() {
+        Some(&WIRE_V2_MARKER) => (true, &bytes[1..]),
+        _ => (false, bytes),
+    };
+    let mut cursor = Cursor { bytes: body, pos: 0 };
     let mut allocated = Vec::new();
-    let value = decode_inner(heap, &mut cursor, resolve, &mut allocated)?;
-    Ok(DecodedValue { value, allocated })
+    let mut bulk = 0u64;
+    let value = decode_inner(heap, &mut cursor, resolve, &mut allocated, v2, 0, &mut bulk)?;
+    Ok(DecodedValue { value, allocated, bulk_bytes: if v2 { bulk } else { 0 } })
 }
 
 struct Cursor<'a> {
@@ -305,7 +465,13 @@ fn decode_inner(
     cur: &mut Cursor<'_>,
     resolve: &mut impl FnMut(ProxyHash) -> Result<Value, CodecError>,
     allocated: &mut Vec<ObjId>,
+    v2: bool,
+    depth: usize,
+    bulk: &mut u64,
 ) -> Result<Value, CodecError> {
+    if depth > MAX_DECODE_DEPTH {
+        return Err(CodecError::TooDeep);
+    }
     match cur.u8()? {
         TAG_UNIT => Ok(Value::Unit),
         TAG_BOOL => Ok(Value::Bool(cur.u8()? != 0)),
@@ -318,6 +484,7 @@ fn decode_inner(
         }
         TAG_BYTES => {
             let len = cur.u32()? as usize;
+            *bulk += len as u64;
             Ok(Value::Bytes(cur.take(len)?.to_vec()))
         }
         TAG_LIST => {
@@ -325,9 +492,31 @@ fn decode_inner(
             let len = cur.checked_count(claimed)?;
             let mut vs = Vec::with_capacity(len.min(1024));
             for _ in 0..len {
-                vs.push(decode_inner(heap, cur, resolve, allocated)?);
+                vs.push(decode_inner(heap, cur, resolve, allocated, v2, depth + 1, bulk)?);
             }
             Ok(Value::List(vs))
+        }
+        TAG_INTS if v2 => {
+            let claimed = cur.u32()?;
+            let len = cur.checked_count(claimed)?;
+            let raw = cur.take(len * 8)?;
+            *bulk += raw.len() as u64;
+            Ok(Value::List(
+                raw.chunks_exact(8)
+                    .map(|c| Value::Int(i64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                    .collect(),
+            ))
+        }
+        TAG_FLOATS if v2 => {
+            let claimed = cur.u32()?;
+            let len = cur.checked_count(claimed)?;
+            let raw = cur.take(len * 8)?;
+            *bulk += raw.len() as u64;
+            Ok(Value::List(
+                raw.chunks_exact(8)
+                    .map(|c| Value::Float(f64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                    .collect(),
+            ))
         }
         TAG_OBJ => {
             let class = ClassId(cur.u32()?);
@@ -340,7 +529,7 @@ fn decode_inner(
             heap.add_root(id);
             allocated.push(id);
             for idx in 0..nfields {
-                let v = decode_inner(heap, cur, resolve, allocated)?;
+                let v = decode_inner(heap, cur, resolve, allocated, v2, depth + 1, bulk)?;
                 heap.set_field(id, idx, v);
             }
             Ok(Value::Ref(id))
@@ -529,6 +718,171 @@ mod tests {
             decode_value(&mut dst, &bytes, &mut resolve_none).unwrap_err(),
             CodecError::BadBackRef(7)
         );
+    }
+
+    fn roundtrip_v2(value: &Value, src: &Heap, dst: &mut Heap) -> (Value, EncodeStats) {
+        let mut bytes = Vec::new();
+        let stats = encode_value_v2(src, value, &mut inline_all, &mut bytes).unwrap();
+        assert_eq!(stats.total_bytes as usize, bytes.len());
+        let decoded = decode_value(dst, &bytes, &mut resolve_none).unwrap();
+        (decoded.unpin(dst), stats)
+    }
+
+    #[test]
+    fn v2_roundtrips_through_the_same_decoder() {
+        let mut src = heap();
+        let obj = src.alloc(ClassId(4), vec![Value::Int(1), Value::from("f")]).unwrap();
+        src.add_root(obj);
+        let mut dst = heap();
+        for v in [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Int(-17),
+            Value::Float(3.5),
+            Value::Str("héllo".into()),
+            Value::Bytes(vec![1, 2, 3]),
+            Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+            Value::List(vec![]),
+        ] {
+            assert_eq!(roundtrip_v2(&v, &src, &mut dst).0, v);
+        }
+        let (copied, _) = roundtrip_v2(&Value::Ref(obj), &src, &mut dst);
+        let new_id = copied.as_ref_id().unwrap();
+        assert_eq!(dst.class_of(new_id), Some(ClassId(4)));
+    }
+
+    #[test]
+    fn v2_bulk_encodes_homogeneous_primitive_lists() {
+        let src = heap();
+        let mut dst = heap();
+        let ints = Value::List((0..100).map(Value::Int).collect());
+        let (out, stats) = roundtrip_v2(&ints, &src, &mut dst);
+        assert_eq!(out, ints);
+        assert_eq!(stats.bulk_bytes, 800, "one memcpy of 100 × 8 bytes");
+        // marker + tag + count + payload
+        assert_eq!(stats.total_bytes, 1 + 1 + 4 + 800);
+
+        let floats = Value::List((0..10).map(|i| Value::Float(i as f64)).collect());
+        let (out, stats) = roundtrip_v2(&floats, &src, &mut dst);
+        assert_eq!(out, floats);
+        assert_eq!(stats.bulk_bytes, 80);
+
+        // A mixed list takes the per-element path.
+        let mixed = Value::List(vec![Value::Int(1), Value::Float(2.0)]);
+        let (out, stats) = roundtrip_v2(&mixed, &src, &mut dst);
+        assert_eq!(out, mixed);
+        assert_eq!(stats.bulk_bytes, 0);
+    }
+
+    #[test]
+    fn v2_counts_bytes_payloads_as_bulk() {
+        let src = heap();
+        let mut dst = heap();
+        let v = Value::Bytes(vec![7; 4096]);
+        let (out, stats) = roundtrip_v2(&v, &src, &mut dst);
+        assert_eq!(out, v);
+        assert_eq!(stats.bulk_bytes, 4096);
+        assert_eq!(stats.element_bytes(), 1 + 1 + 4, "marker, tag, length prefix");
+    }
+
+    #[test]
+    fn v2_bulk_lists_are_smaller_than_v1() {
+        let src = heap();
+        let ints = Value::List((0..64).map(Value::Int).collect());
+        let v1 = encode_value(&src, &ints, &mut inline_all).unwrap();
+        let mut v2 = Vec::new();
+        encode_value_v2(&src, &ints, &mut inline_all, &mut v2).unwrap();
+        assert!(v2.len() < v1.len(), "v2 {} vs v1 {}", v2.len(), v1.len());
+    }
+
+    #[test]
+    fn encode_values_v2_matches_a_decoded_list() {
+        let src = heap();
+        let mut dst = heap();
+        let args = vec![Value::Bytes(vec![1, 2]), Value::Int(9)];
+        let mut bytes = Vec::new();
+        encode_values_v2(&src, &args, &mut inline_all, &mut bytes).unwrap();
+        let decoded = decode_value(&mut dst, &bytes, &mut resolve_none).unwrap();
+        assert_eq!(decoded.unpin(&mut dst), Value::List(args));
+    }
+
+    #[test]
+    fn bulk_tags_are_rejected_in_v1_streams() {
+        // A v1 stream (no marker) must not accept v2-only tags.
+        let mut bytes = vec![TAG_INTS];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&5i64.to_le_bytes());
+        let mut dst = heap();
+        assert_eq!(
+            decode_value(&mut dst, &bytes, &mut resolve_none).unwrap_err(),
+            CodecError::BadTag(TAG_INTS)
+        );
+    }
+
+    #[test]
+    fn pinned_v1_wire_bytes_still_decode() {
+        // Golden v1 payload assembled by hand: [Int(7), Str("hi"),
+        // Bytes([1,2])]. Guards decode compatibility for payloads
+        // produced before the v2 marker existed.
+        let mut bytes = vec![TAG_LIST];
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.push(TAG_INT);
+        bytes.extend_from_slice(&7i64.to_le_bytes());
+        bytes.push(TAG_STR);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(b"hi");
+        bytes.push(TAG_BYTES);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2]);
+
+        let mut dst = heap();
+        let decoded = decode_value(&mut dst, &bytes, &mut resolve_none).unwrap();
+        assert_eq!(
+            decoded.unpin(&mut dst),
+            Value::List(vec![Value::Int(7), Value::Str("hi".into()), Value::Bytes(vec![1, 2]),])
+        );
+    }
+
+    fn nested_list_bytes(depth: usize, v2: bool) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        if v2 {
+            bytes.push(WIRE_V2_MARKER);
+        }
+        for _ in 0..depth {
+            bytes.push(TAG_LIST);
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+        }
+        bytes.push(TAG_UNIT);
+        bytes
+    }
+
+    #[test]
+    fn decode_depth_is_bounded_in_both_formats() {
+        let mut dst = heap();
+        for v2 in [false, true] {
+            let deep = nested_list_bytes(MAX_DECODE_DEPTH + 1, v2);
+            assert_eq!(
+                decode_value(&mut dst, &deep, &mut resolve_none).unwrap_err(),
+                CodecError::TooDeep,
+                "v2={v2}"
+            );
+            let ok = nested_list_bytes(MAX_DECODE_DEPTH, v2);
+            assert!(decode_value(&mut dst, &ok, &mut resolve_none).is_ok(), "v2={v2}");
+        }
+    }
+
+    #[test]
+    fn encode_into_a_reused_buffer_appends_cleanly() {
+        let src = heap();
+        let mut dst = heap();
+        let mut buf = crate::pool::acquire();
+        for round in 0..3 {
+            buf.clear();
+            let v = Value::Bytes(vec![round as u8; 32]);
+            encode_value_v2(&src, &v, &mut inline_all, &mut buf).unwrap();
+            let decoded = decode_value(&mut dst, &buf, &mut resolve_none).unwrap();
+            assert_eq!(decoded.unpin(&mut dst), v);
+        }
     }
 
     #[test]

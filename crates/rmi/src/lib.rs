@@ -14,6 +14,11 @@
 //! - [`batch`] — batched wire frames: several queued switchless
 //!   requests cross the boundary as one length-prefixed frame, so a
 //!   worker wakeup that drains a batch pays one frame header;
+//! - [`pool`] — thread-local pooled encode/decode buffers with
+//!   high-water-mark trimming, so steady-state crossings allocate no
+//!   fresh payload memory;
+//! - [`shape`] — the per-app shape cache and class-name interner
+//!   behind the wire-format-v2 fast path (`docs/SERDE.md`);
 //! - [`registry`] — the mirror-proxy registry holding strong references
 //!   to mirror objects, keyed by proxy hash;
 //! - [`weaklist`] — the per-runtime weak-reference list of live proxies;
@@ -31,11 +36,18 @@ pub mod batch;
 pub mod codec;
 pub mod gc_helper;
 pub mod hash;
+pub mod pool;
 pub mod registry;
+pub mod shape;
 pub mod weaklist;
 
-pub use codec::{decode_value, encode_value, CodecError, DecodedValue, RefEncoding, TraceContext};
+pub use codec::{
+    decode_value, encode_value, encode_value_v2, encode_values_v2, CodecError, DecodedValue,
+    EncodeStats, RefEncoding, TraceContext,
+};
 pub use gc_helper::GcHelper;
 pub use hash::{HashScheme, ProxyHash, ProxyHasher};
+pub use pool::PooledBuf;
 pub use registry::MirrorProxyRegistry;
+pub use shape::{CompiledShape, NameInterner, NameRef, ShapeCache};
 pub use weaklist::ProxyWeakList;

@@ -1,0 +1,227 @@
+//! Shape-cached class metadata for the serde fast path.
+//!
+//! The v1 boundary path re-derived per-class layout facts on every
+//! crossing and cloned the class-name `String` into every proxy-hash
+//! hint. This module caches both, per app:
+//!
+//! - [`ShapeCache`] maps `ClassId → Arc<CompiledShape>` — field
+//!   count, primitive-only flag, fixed wire width and the interned
+//!   class-name id — compiled once on a class's first crossing and
+//!   read lock-free-in-spirit thereafter (the read path clones one
+//!   `Arc` under a briefly-held read lock; writes copy-on-write the
+//!   whole map so readers never block on a miss being filled).
+//! - [`NameInterner`] maps class names to dense `u32` ids. A name
+//!   crosses the wire in full exactly once per (class, peer) pair;
+//!   every later crossing references it by id (wire format v2's
+//!   interned hint encoding — see `docs/SERDE.md`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use runtime_sim::value::ClassId;
+
+/// Per-class facts the encoder needs on every crossing, compiled once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledShape {
+    /// Number of declared fields.
+    pub field_count: u32,
+    /// Every field is a primitive (no heap references can occur), so
+    /// marshalling values of this class never needs the annotated-ref
+    /// scan pass.
+    pub primitive_only: bool,
+    /// Exact encoded width in bytes when every instance encodes to
+    /// the same size (fixed-width primitive fields only); `None` for
+    /// variable-width shapes. Used to pre-size encode buffers.
+    pub fixed_width: Option<u32>,
+    /// The class name's id in the app's [`NameInterner`].
+    pub name_id: u32,
+}
+
+/// Copy-on-write map from [`ClassId`] to its [`CompiledShape`].
+#[derive(Debug, Default)]
+pub struct ShapeCache {
+    map: RwLock<Arc<HashMap<ClassId, Arc<CompiledShape>>>>,
+}
+
+impl ShapeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a compiled shape; `None` means the caller should
+    /// compile one and [`ShapeCache::insert`] it (a *shape-cache
+    /// miss*, counted by `serde.shape_cache_misses`).
+    pub fn get(&self, class: ClassId) -> Option<Arc<CompiledShape>> {
+        self.map.read().expect("shape cache poisoned").get(&class).cloned()
+    }
+
+    /// Publishes a compiled shape. Replaces the map copy-on-write so
+    /// concurrent readers keep their snapshot; inserting the same
+    /// class twice keeps the latest shape.
+    pub fn insert(&self, class: ClassId, shape: CompiledShape) -> Arc<CompiledShape> {
+        let shape = Arc::new(shape);
+        let mut guard = self.map.write().expect("shape cache poisoned");
+        let mut next: HashMap<ClassId, Arc<CompiledShape>> = (**guard).clone();
+        next.insert(class, Arc::clone(&shape));
+        *guard = Arc::new(next);
+        shape
+    }
+
+    /// Number of cached shapes.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("shape cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// How a class name rides a wire hint: the full string on the first
+/// crossing of that class, the 4-byte intern id thereafter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameRef {
+    /// First crossing — carries the name so the peer can populate its
+    /// own table. Costs `4 + len` modelled wire bytes.
+    Named(u32, Arc<str>),
+    /// Subsequent crossings — the id alone. Costs 4 modelled bytes.
+    Id(u32),
+}
+
+impl NameRef {
+    /// The intern id, whichever encoding is used.
+    pub fn id(&self) -> u32 {
+        match self {
+            NameRef::Named(id, _) => *id,
+            NameRef::Id(id) => *id,
+        }
+    }
+
+    /// Modelled wire bytes this hint-name encoding occupies.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            NameRef::Named(_, name) => 4 + name.len(),
+            NameRef::Id(_) => 4,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct InternInner {
+    by_name: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
+}
+
+/// Bidirectional `String ↔ u32` table of class names, shared by both
+/// worlds of an app (modelling the per-peer table each side builds
+/// from the `Named` hints it has seen).
+#[derive(Debug, Default)]
+pub struct NameInterner {
+    inner: RwLock<InternInner>,
+}
+
+impl NameInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id and whether this call created
+    /// it (`true` exactly once per distinct name — the crossing that
+    /// must carry [`NameRef::Named`]).
+    pub fn intern(&self, name: &str) -> (u32, bool) {
+        if let Some(&id) = self.inner.read().expect("interner poisoned").by_name.get(name) {
+            return (id, false);
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        if let Some(&id) = inner.by_name.get(name) {
+            return (id, false);
+        }
+        let id = inner.names.len() as u32;
+        let name: Arc<str> = Arc::from(name);
+        inner.names.push(Arc::clone(&name));
+        inner.by_name.insert(name, id);
+        (id, true)
+    }
+
+    /// The name behind `id`, if interned.
+    pub fn resolve(&self, id: u32) -> Option<Arc<str>> {
+        self.inner.read().expect("interner poisoned").names.get(id as usize).cloned()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("interner poisoned").names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_is_stable_and_reports_first_use() {
+        let interner = NameInterner::new();
+        let (a, fresh_a) = interner.intern("KvStore");
+        let (b, fresh_b) = interner.intern("Writer");
+        let (a2, fresh_a2) = interner.intern("KvStore");
+        assert!(fresh_a && fresh_b && !fresh_a2);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.resolve(a).as_deref(), Some("KvStore"));
+        assert_eq!(interner.resolve(b).as_deref(), Some("Writer"));
+        assert_eq!(interner.resolve(99), None);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn name_ref_wire_len_shrinks_after_first_crossing() {
+        let first = NameRef::Named(0, Arc::from("SomeClassName"));
+        let later = NameRef::Id(0);
+        assert_eq!(first.wire_len(), 4 + "SomeClassName".len());
+        assert_eq!(later.wire_len(), 4);
+        assert_eq!(first.id(), later.id());
+    }
+
+    #[test]
+    fn shape_cache_round_trips_and_overwrites() {
+        let cache = ShapeCache::new();
+        assert!(cache.get(ClassId(3)).is_none());
+        let shape = CompiledShape {
+            field_count: 2,
+            primitive_only: true,
+            fixed_width: Some(18),
+            name_id: 0,
+        };
+        cache.insert(ClassId(3), shape.clone());
+        assert_eq!(cache.get(ClassId(3)).as_deref(), Some(&shape));
+        assert_eq!(cache.len(), 1);
+
+        let wider = CompiledShape { field_count: 3, ..shape };
+        cache.insert(ClassId(3), wider.clone());
+        assert_eq!(cache.get(ClassId(3)).as_deref(), Some(&wider));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn readers_keep_their_snapshot_across_inserts() {
+        let cache = ShapeCache::new();
+        let shape =
+            CompiledShape { field_count: 1, primitive_only: false, fixed_width: None, name_id: 7 };
+        let inserted = cache.insert(ClassId(1), shape);
+        let held = cache.get(ClassId(1)).unwrap();
+        cache.insert(
+            ClassId(2),
+            CompiledShape { field_count: 9, primitive_only: true, fixed_width: None, name_id: 8 },
+        );
+        assert_eq!(held, inserted, "snapshot unaffected by later inserts");
+        assert_eq!(cache.len(), 2);
+    }
+}

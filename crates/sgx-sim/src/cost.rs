@@ -66,6 +66,12 @@ pub struct CostParams {
     /// straight into EPC memory and every buffer access is
     /// bounds-checked by the edge routines.
     pub serde_enclave_factor: f64,
+    /// Serialization cost per byte moved by the *bulk* fast path —
+    /// `Value::Bytes` and primitive-homogeneous lists encoded as one
+    /// length-prefixed `memcpy` (wire format v2, `docs/SERDE.md`).
+    /// Bulk bytes skip the per-element object-graph walk, so the rate
+    /// is near the raw copy cost rather than `serde_ns_per_byte`.
+    pub serde_bulk_ns_per_byte: f64,
     /// MEE charge per byte of ordinary in-enclave heap traffic
     /// (allocation writes, large scans). Cache-resident writes defer
     /// most MEE work, so this rate is modest.
@@ -115,6 +121,7 @@ impl CostParams {
             copy_ns_per_byte: 1.5,
             serde_ns_per_byte: 6.0,
             serde_enclave_factor: 8.0,
+            serde_bulk_ns_per_byte: 0.75,
             mee_ns_per_byte: 0.25,
             mee_gc_ns_per_byte: 4.0,
             mee_compute_factor: 1.8,
@@ -135,7 +142,8 @@ impl CostParams {
     /// upper snake case — `MONTSALVAT_CPU_GHZ`,
     /// `MONTSALVAT_TRANSITION_CYCLES`, `MONTSALVAT_RELAY_OVERHEAD_NS`,
     /// `MONTSALVAT_COPY_NS_PER_BYTE`, `MONTSALVAT_SERDE_NS_PER_BYTE`,
-    /// `MONTSALVAT_SERDE_ENCLAVE_FACTOR`, `MONTSALVAT_MEE_NS_PER_BYTE`,
+    /// `MONTSALVAT_SERDE_ENCLAVE_FACTOR`,
+    /// `MONTSALVAT_SERDE_BULK_NS_PER_BYTE`, `MONTSALVAT_MEE_NS_PER_BYTE`,
     /// `MONTSALVAT_MEE_GC_NS_PER_BYTE`, `MONTSALVAT_MEE_COMPUTE_FACTOR`,
     /// `MONTSALVAT_LLC_BYTES`, `MONTSALVAT_EPC_USABLE_BYTES`,
     /// `MONTSALVAT_EPC_FAULT_NS`, `MONTSALVAT_EPC_PAGE_BYTES`,
@@ -157,6 +165,10 @@ impl CostParams {
             copy_ns_per_byte: get("MONTSALVAT_COPY_NS_PER_BYTE", d.copy_ns_per_byte),
             serde_ns_per_byte: get("MONTSALVAT_SERDE_NS_PER_BYTE", d.serde_ns_per_byte),
             serde_enclave_factor: get("MONTSALVAT_SERDE_ENCLAVE_FACTOR", d.serde_enclave_factor),
+            serde_bulk_ns_per_byte: get(
+                "MONTSALVAT_SERDE_BULK_NS_PER_BYTE",
+                d.serde_bulk_ns_per_byte,
+            ),
             mee_ns_per_byte: get("MONTSALVAT_MEE_NS_PER_BYTE", d.mee_ns_per_byte),
             mee_gc_ns_per_byte: get("MONTSALVAT_MEE_GC_NS_PER_BYTE", d.mee_gc_ns_per_byte),
             mee_compute_factor: get("MONTSALVAT_MEE_COMPUTE_FACTOR", d.mee_compute_factor),
@@ -416,6 +428,16 @@ mod tests {
         assert!(p.switchless_call_ns < p.transition_ns() / 2);
         assert!(p.switchless_call_ns + p.switchless_wake_ns < p.transition_ns());
         assert!(p.switchless_fallback_ns < p.transition_ns() / 10);
+    }
+
+    #[test]
+    fn bulk_serde_is_cheaper_than_the_graph_walk() {
+        let p = CostParams::paper_defaults();
+        // The bulk fast path skips the per-element walk, so it must be
+        // well under the graph-walk rate, but it still performs a real
+        // boundary copy, so it cannot undercut half the memcpy rate.
+        assert!(p.serde_bulk_ns_per_byte < p.serde_ns_per_byte / 2.0);
+        assert!(p.serde_bulk_ns_per_byte >= p.copy_ns_per_byte / 4.0);
     }
 
     #[test]

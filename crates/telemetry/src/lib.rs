@@ -165,6 +165,24 @@ metric_enum! {
         WeakDeadFound => ("rmi.weak_dead_found", "objects"),
         /// Relay method dispatches executed on a receiving world.
         RelayDispatches => ("exec.relay_dispatches", "calls"),
+        /// Boundary payload encodes performed (marshal calls). Always
+        /// equals `serde.fast_path_hits + serde.slow_path_hits`.
+        SerdeEncodeCalls => ("serde.encode_calls", "calls"),
+        /// Encodes that took the v2 fast path (shape-cached, pooled
+        /// buffer, bulk primitives).
+        SerdeFastPathHits => ("serde.fast_path_hits", "calls"),
+        /// Encodes that took the classic v1 path (fast path disabled
+        /// or unavailable).
+        SerdeSlowPathHits => ("serde.slow_path_hits", "calls"),
+        /// Bulk-copied payload bytes (single-memcpy `Bytes` /
+        /// primitive-homogeneous lists) charged at the bulk serde rate.
+        SerdeBulkBytes => ("serde.bulk_bytes", "bytes"),
+        /// Payload bytes encoded into a reused pooled buffer instead
+        /// of a fresh heap allocation.
+        SerdePooledBytes => ("serde.pooled_bytes", "bytes"),
+        /// Shape-cache misses (first crossing of a class; compiles and
+        /// caches the shape, interns the class name).
+        SerdeShapeCacheMisses => ("serde.shape_cache_misses", "misses"),
         /// Trace events discarded because a ring buffer was full
         /// (see `telemetry::trace`; `rmi.calls` reconciles against
         /// traced spans plus this).
@@ -217,5 +235,9 @@ metric_enum! {
         GcPauseNs => ("gc.pause_ns", "wall_ns"),
         /// Jobs served per switchless worker wakeup (batch drain size).
         SwitchlessBatchJobs => ("rmi.switchless_batch_jobs", "jobs"),
+        /// Model nanoseconds charged per classic (v1) payload encode.
+        SerdeEncodeClassicNs => ("serde.encode_classic_ns", "model_ns"),
+        /// Model nanoseconds charged per fast-path (v2) payload encode.
+        SerdeEncodeFastNs => ("serde.encode_fast_ns", "model_ns"),
     }
 }

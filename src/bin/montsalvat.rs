@@ -376,27 +376,55 @@ fn render_trace_report(trace: &montsalvat::telemetry::trace::ParsedTrace, top: u
     }
 
     // Per-class call profile over proxy-call spans ("Class.relay").
-    let mut profile: HashMap<&str, (u64, u64, u64)> = HashMap::new();
+    // (count, total ns, max ns, serde bytes, serde ns)
+    let mut profile: HashMap<&str, (u64, u64, u64, u64, u64)> = HashMap::new();
     for s in spans.iter().filter(|s| s.cat == "rmi") {
         let entry = profile.entry(s.name.as_str()).or_default();
         entry.0 += 1;
         entry.1 += s.dur_ns();
         entry.2 = entry.2.max(s.dur_ns());
     }
+    // Serde attribution: marshal/unmarshal spans carry their payload
+    // size as a `b=<bytes>` suffix; charge each one to the nearest
+    // enclosing cat-"rmi" span (the proxy call that crossed).
+    for (i, s) in spans.iter().enumerate() {
+        if s.cat != "serde" {
+            continue;
+        }
+        let bytes =
+            s.name.rsplit_once("b=").and_then(|(_, n)| n.trim().parse::<u64>().ok()).unwrap_or(0);
+        let mut parent = spans[i].parent;
+        while parent != 0 {
+            let Some(&p) = by_id.get(&parent) else { break };
+            if spans[p].cat == "rmi" {
+                if let Some(entry) = profile.get_mut(spans[p].name.as_str()) {
+                    entry.3 += bytes;
+                    entry.4 += s.dur_ns();
+                }
+                break;
+            }
+            parent = spans[p].parent;
+        }
+    }
     let mut profile: Vec<_> = profile.into_iter().collect();
-    profile.sort_by_key(|(_, (_, total, _))| std::cmp::Reverse(*total));
+    profile.sort_by_key(|(_, (_, total, ..))| std::cmp::Reverse(*total));
     let _ = writeln!(out, "\n-- per-class call profile (cat \"rmi\") --");
-    let _ =
-        writeln!(out, "{:<40} {:>6} {:>14} {:>14} {:>14}", "call", "count", "total", "mean", "max");
-    for (name, (count, total, max)) in &profile {
+    let _ = writeln!(
+        out,
+        "{:<40} {:>6} {:>14} {:>14} {:>14} {:>10} {:>14}",
+        "call", "count", "total", "mean", "max", "serde B", "serde t"
+    );
+    for (name, (count, total, max, serde_bytes, serde_ns)) in &profile {
         let _ = writeln!(
             out,
-            "{:<40} {:>6} {:>14} {:>14} {:>14}",
+            "{:<40} {:>6} {:>14} {:>14} {:>14} {:>10} {:>14}",
             name,
             count,
             fmt_ns(*total),
             fmt_ns(total / count.max(&1)),
-            fmt_ns(*max)
+            fmt_ns(*max),
+            serde_bytes,
+            fmt_ns(*serde_ns)
         );
     }
 
@@ -619,6 +647,33 @@ mod tests {
     fn dangling_calls_are_caught_by_validation() {
         let err = parse_program("class A\n  static m 0 calls Ghost.x\nmain A.m").unwrap_err();
         assert!(err.contains("Ghost"), "{err}");
+    }
+
+    #[test]
+    fn trace_report_attributes_serde_to_enclosing_call() {
+        use montsalvat::telemetry::trace::{parse_chrome_trace, Lane, Tracer};
+        let tracer = Tracer::new();
+        tracer.enable_with_capacity(64);
+        let call = tracer
+            .start(Lane::Untrusted, "rmi", None, 0, || "Account.relay$get".into())
+            .expect("tracing enabled");
+        let ctx = call.context();
+        tracer.span_at(Lane::Untrusted, "serde", Some(ctx), 10, 30, 10, || {
+            "marshal:fast b=64".into()
+        });
+        tracer.span_at(Lane::Untrusted, "serde", Some(ctx), 40, 50, 40, || "unmarshal b=36".into());
+        tracer.finish(call, 100);
+        let parsed = parse_chrome_trace(&tracer.to_chrome_json(&[])).unwrap();
+        let report = render_trace_report(&parsed, 3);
+        assert!(report.contains("serde B"), "{report}");
+        // 64 marshalled + 36 unmarshalled bytes, 20 + 10 ns of serde
+        // time, all charged to the one Account.relay$get call.
+        let profile_line = report
+            .lines()
+            .find(|l| l.contains("Account.relay$get") && !l.contains("[rmi]"))
+            .expect("profile row for the call");
+        assert!(profile_line.contains("100"), "serde bytes column: {profile_line}");
+        assert!(profile_line.contains("0.030 µs"), "serde time column: {profile_line}");
     }
 
     #[test]
