@@ -1,0 +1,190 @@
+//! Property-based tests for the partition advisor's decision rule
+//! (`docs/PARTITIONING.md`): the rule's thresholds are all *relative*
+//! (savings fraction, sample counts), so uniformly rescaling the cost
+//! model must never flip a verdict or reorder the plan.
+
+use montsalvat_core::analysis::advisor::{decide, AdvisorConfig, ClassCosts, Verdict};
+use montsalvat_core::annotation::Side;
+use proptest::prelude::*;
+use sgx_sim::cost::CostParams;
+
+/// Params with `cpu_ghz = 1.0` so `transition_ns() == transition_cycles`
+/// exactly — scaling the cycle count by a power of two then scales the
+/// derived transition cost with no truncation error.
+fn base_params(
+    transition_cycles: u64,
+    relay_overhead_ns: u64,
+    switchless_call_ns: u64,
+    copy_ns_per_byte: f64,
+) -> CostParams {
+    CostParams {
+        cpu_ghz: 1.0,
+        transition_cycles,
+        relay_overhead_ns,
+        switchless_call_ns,
+        copy_ns_per_byte,
+        ..CostParams::paper_defaults()
+    }
+}
+
+/// Scales every nanosecond-denominated input by `2^k` (payload bytes
+/// and call counts are *quantities*, not costs — they stay put; the
+/// byte-cost rate scales instead). Powers of two keep all the f64
+/// arithmetic exact, so the scaled plan is the base plan times `2^k`.
+fn scale_costs(c: &ClassCosts, k: u32) -> ClassCosts {
+    let m = 1u64 << k;
+    ClassCosts {
+        class: c.class.clone(),
+        home: c.home,
+        calls: c.calls,
+        classic_crossings: c.classic_crossings,
+        switchless_crossings: c.switchless_crossings,
+        shim_relays: c.shim_relays,
+        payload_bytes: c.payload_bytes,
+        serde_ns: c.serde_ns * m,
+        queue_ns: c.queue_ns * m,
+        exec_ns: c.exec_ns * m,
+        nested_crossing_ns: c.nested_crossing_ns * m,
+    }
+}
+
+fn scale_params(p: &CostParams, k: u32) -> CostParams {
+    let m = 1u64 << k;
+    CostParams {
+        transition_cycles: p.transition_cycles * m,
+        relay_overhead_ns: p.relay_overhead_ns * m,
+        switchless_call_ns: p.switchless_call_ns * m,
+        copy_ns_per_byte: p.copy_ns_per_byte * m as f64,
+        ..p.clone()
+    }
+}
+
+/// Raw per-class inputs: `(calls, shim relays/call, payload B/call,
+/// serde ns/call, queue ns/call, exec ns/call, nested ns/call,
+/// trusted home?, switchless?)`. Kept as a tuple because the strategy
+/// can't know the class's index; [`to_costs`] names it.
+type RawClass = (u64, u64, u64, u64, u64, u64, u64, bool, bool);
+
+/// Strategy for one traced class's aggregated costs.
+fn raw_class() -> impl Strategy<Value = RawClass> {
+    (
+        0u64..200,    // calls
+        0u64..3,      // shim relays per call
+        0u64..4096,   // payload bytes per call
+        0u64..20_000, // serde ns per call
+        (0u64..10_000, 0u64..500_000, 0u64..100_000, any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |(calls, shim, payload, serde, (queue, exec, nested, trusted, switchless))| {
+                (calls, shim, payload, serde, queue, exec, nested, trusted, switchless)
+            },
+        )
+}
+
+fn to_costs(index: usize, raw: &RawClass) -> ClassCosts {
+    let (calls, shim, payload, serde, queue, exec, nested, trusted, switchless) = *raw;
+    ClassCosts {
+        class: format!("C{index}"),
+        home: if trusted { Side::Trusted } else { Side::Untrusted },
+        calls,
+        classic_crossings: if switchless { 0 } else { calls },
+        switchless_crossings: if switchless { calls } else { 0 },
+        shim_relays: shim * calls,
+        payload_bytes: payload * calls,
+        serde_ns: serde * calls,
+        queue_ns: queue * calls,
+        exec_ns: exec * calls,
+        nested_crossing_ns: nested * calls,
+    }
+}
+
+fn ranking(recs: &[(String, Verdict, i64)]) -> Vec<String> {
+    let mut sorted: Vec<_> = recs.to_vec();
+    sorted.sort_by(|a, b| {
+        let rank = |v: Verdict| match v {
+            Verdict::Move => 0,
+            Verdict::Hold => 1,
+        };
+        rank(a.1).cmp(&rank(b.1)).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0))
+    });
+    sorted.into_iter().map(|(name, ..)| name).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Scaling every cost by a common power of two preserves each
+    /// class's verdict and the plan's ranking: the decision rule only
+    /// ever compares *relative* quantities.
+    #[test]
+    fn verdicts_and_ranking_survive_uniform_cost_scaling(
+        raw_classes in proptest::collection::vec(raw_class(), 1..6),
+        transition_cycles in 500u64..20_000,
+        relay_overhead_ns in 1_000u64..100_000,
+        switchless_call_ns in 100u64..5_000,
+        copy_half_ns in 1u64..16,
+        k in 0u32..=10,
+    ) {
+        let params = base_params(
+            transition_cycles,
+            relay_overhead_ns,
+            switchless_call_ns,
+            copy_half_ns as f64 * 0.5,
+        );
+        let scaled_params = scale_params(&params, k);
+        let cfg = AdvisorConfig::default();
+
+        let classes: Vec<ClassCosts> =
+            raw_classes.iter().enumerate().map(|(i, raw)| to_costs(i, raw)).collect();
+        let mut base = Vec::new();
+        let mut scaled = Vec::new();
+        for c in &classes {
+            let r0 = decide(c, &params, &cfg, None);
+            let r1 = decide(&scale_costs(c, k), &scaled_params, &cfg, None);
+            prop_assert_eq!(
+                r0.verdict, r1.verdict,
+                "class {} flipped under x2^{k} scaling: {} -> {}",
+                c.class, r0.rationale, r1.rationale
+            );
+            prop_assert_eq!(&r0.suggested, &r1.suggested, "suggestion changed for {}", c.class);
+            // The fraction and confidence are scale-free by definition.
+            prop_assert!((r0.savings_frac - r1.savings_frac).abs() < 1e-9);
+            prop_assert!((r0.confidence - r1.confidence).abs() < 1e-12);
+            base.push((c.class.clone(), r0.verdict, r0.predicted_savings_ns));
+            scaled.push((c.class.clone(), r1.verdict, r1.predicted_savings_ns));
+        }
+        prop_assert_eq!(ranking(&base), ranking(&scaled), "plan order changed under scaling");
+    }
+
+    /// The decision rule is monotone in the evidence: with everything
+    /// else fixed, adding more identically-shaped calls never turns a
+    /// Move into a Hold.
+    #[test]
+    fn more_samples_never_demote_a_move(
+        calls in 1u64..500,
+        extra in 1u64..500,
+        per_call_exec in 0u64..40_000,
+    ) {
+        let params = CostParams::paper_defaults();
+        let cfg = AdvisorConfig::default();
+        let per = |n: u64| ClassCosts {
+            class: "C".into(),
+            home: Side::Trusted,
+            calls: n,
+            classic_crossings: n,
+            switchless_crossings: 0,
+            shim_relays: 0,
+            payload_bytes: 256 * n,
+            serde_ns: 2_000 * n,
+            queue_ns: 0,
+            exec_ns: per_call_exec * n,
+            nested_crossing_ns: 0,
+        };
+        let small = decide(&per(calls), &params, &cfg, None);
+        let large = decide(&per(calls + extra), &params, &cfg, None);
+        if small.verdict == Verdict::Move {
+            prop_assert_eq!(large.verdict, Verdict::Move, "{}", large.rationale);
+        }
+        prop_assert!(large.confidence >= small.confidence);
+    }
+}

@@ -15,6 +15,7 @@
 //!                                          # also capture a causal trace
 //!                                          # (Chrome/Perfetto JSON)
 //! montsalvat trace-report trace.json       # summarize a captured trace
+//! montsalvat advise trace.json             # recommend re-annotations
 //! montsalvat example                       # print a sample description
 //! ```
 //!
@@ -103,6 +104,37 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("advise") => {
+            let Some(input) = args.get(1) else {
+                eprintln!(
+                    "usage: montsalvat advise <trace.json> [--program <file>] \
+                     [--telemetry <t.json>] [--json] [--min-samples <n>] [--pin <A,B,..>]"
+                );
+                return ExitCode::FAILURE;
+            };
+            let flag_value = |flag: &str| {
+                args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+            };
+            let opts = AdviseOpts {
+                program: flag_value("--program"),
+                telemetry: flag_value("--telemetry"),
+                json: args.iter().any(|a| a == "--json"),
+                min_samples: flag_value("--min-samples").and_then(|n| n.parse().ok()),
+                pin: flag_value("--pin")
+                    .map(|list| list.split(',').map(|s| s.trim().to_owned()).collect())
+                    .unwrap_or_default(),
+            };
+            match run_advise(input, &opts) {
+                Ok(output) => {
+                    print!("{output}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
             eprintln!("montsalvat — annotation-based partitioning for (simulated) SGX enclaves");
             eprintln!();
@@ -118,6 +150,13 @@ fn main() -> ExitCode {
             eprintln!("                                  summarize a --trace-out capture:");
             eprintln!("                                  slowest call trees, per-class");
             eprintln!("                                  profiles, model-time breakdown");
+            eprintln!("  advise <trace.json> [--program <file>] [--telemetry <t.json>]");
+            eprintln!("                      [--json] [--min-samples <n>] [--pin <A,B,..>]");
+            eprintln!("                                  price a --trace-out capture against");
+            eprintln!("                                  the cost model and emit a ranked");
+            eprintln!(
+                "                                  re-annotation plan (docs/PARTITIONING.md)"
+            );
             eprintln!("  example                         print a sample description");
             ExitCode::FAILURE
         }
@@ -254,6 +293,59 @@ fn run_trace_report(input: &str, top: usize) -> Result<String, String> {
     let trace = montsalvat::telemetry::trace::parse_chrome_trace(&text)
         .map_err(|e| format!("parsing {input}: {e}"))?;
     Ok(render_trace_report(&trace, top))
+}
+
+/// Parsed flags of the `advise` subcommand.
+#[derive(Default)]
+struct AdviseOpts {
+    /// `.mont` description supplying declared annotations and
+    /// statelessness (enables `@Neutral` suggestions).
+    program: Option<String>,
+    /// Telemetry export whose `rmi.calls` reconciles trace coverage.
+    telemetry: Option<String>,
+    /// Emit `montsalvat.advice/v1` JSON instead of the table.
+    json: bool,
+    /// Override `AdvisorConfig::min_samples`.
+    min_samples: Option<u64>,
+    /// Classes pinned to their current annotation.
+    pin: Vec<String>,
+}
+
+/// Reads a `--trace-out` document, runs the partition advisor over it
+/// with `MONTSALVAT_*`-overridable cost parameters, and renders the
+/// plan (table or JSON). See `docs/PARTITIONING.md` for the equations.
+fn run_advise(input: &str, opts: &AdviseOpts) -> Result<String, String> {
+    use montsalvat::core::analysis::advisor::{advise, advise_with_classes, AdvisorConfig};
+    use montsalvat::sgx::cost::CostParams;
+
+    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let trace = montsalvat::telemetry::trace::parse_chrome_trace(&text)
+        .map_err(|e| format!("parsing {input}: {e}"))?;
+    let params = CostParams::from_env();
+    let mut cfg = AdvisorConfig::default();
+    if let Some(n) = opts.min_samples {
+        cfg.min_samples = n;
+    }
+    cfg.pinned.extend(opts.pin.iter().cloned());
+
+    let mut plan = match &opts.program {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let program = parse_program(&text)?;
+            advise_with_classes(&trace, &params, &cfg, &program.classes)
+        }
+        None => advise(&trace, &params, &cfg),
+    };
+    if let Some(path) = &opts.telemetry {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        if let Some(calls) = montsalvat::telemetry::extract_counter(&json, "rmi.calls") {
+            plan.rmi_calls = Some(calls);
+        }
+    }
+    if plan.recommendations.is_empty() {
+        return Err(format!("no cat-\"rmi\" spans in {input}: nothing to advise on"));
+    }
+    Ok(if opts.json { plan.to_json() } else { plan.render_table() })
 }
 
 /// One reconstructed span of a parsed trace.
@@ -674,6 +766,68 @@ mod tests {
             .expect("profile row for the call");
         assert!(profile_line.contains("100"), "serde bytes column: {profile_line}");
         assert!(profile_line.contains("0.030 µs"), "serde time column: {profile_line}");
+    }
+
+    #[test]
+    fn advise_recommends_moving_a_crossing_dominated_class() {
+        use montsalvat::telemetry::trace::{Lane, Tracer};
+        let tracer = Tracer::new();
+        tracer.enable_with_capacity(1024);
+        for i in 0..16u64 {
+            let t0 = i * 100_000;
+            let call = tracer
+                .start(Lane::Untrusted, "rmi", None, t0, || "Account.relay$balance".into())
+                .expect("tracing enabled");
+            let ecall = tracer
+                .start(Lane::Trusted, "sgx", Some(call.context()), t0, || "ecall:relay".into())
+                .expect("tracing enabled");
+            tracer.finish(ecall, t0 + 1_000);
+            tracer.finish(call, t0 + 2_000);
+        }
+        let dir = std::env::temp_dir().join("montsalvat-advise-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.json");
+        std::fs::write(&trace_path, tracer.to_chrome_json(&[("rmi_calls", 16)])).unwrap();
+
+        // Table output: Account is a move, telemetry count reconciles.
+        let table =
+            run_advise(trace_path.to_str().unwrap(), &AdviseOpts::default()).expect("advise runs");
+        assert!(table.contains("Account"), "{table}");
+        assert!(table.contains("move"), "{table}");
+        assert!(table.contains("telemetry rmi.calls = 16"), "{table}");
+
+        // JSON output carries the schema and a positive prediction.
+        let json = run_advise(
+            trace_path.to_str().unwrap(),
+            &AdviseOpts { json: true, ..AdviseOpts::default() },
+        )
+        .expect("advise runs");
+        assert!(json.contains("montsalvat.advice/v1"), "{json}");
+        assert!(json.contains("\"verdict\": \"move\""), "{json}");
+
+        // Pinning the class holds it.
+        let pinned = run_advise(
+            trace_path.to_str().unwrap(),
+            &AdviseOpts { pin: vec!["Account".into()], ..AdviseOpts::default() },
+        )
+        .expect("advise runs");
+        assert!(pinned.contains("pinned"), "{pinned}");
+        let _ = std::fs::remove_file(&trace_path);
+    }
+
+    #[test]
+    fn advise_errors_on_a_trace_without_crossings() {
+        use montsalvat::telemetry::trace::{Lane, Tracer};
+        let tracer = Tracer::new();
+        tracer.enable_with_capacity(16);
+        tracer.span_at(Lane::Trusted, "gc", None, 0, 10, 0, || "gc".into());
+        let dir = std::env::temp_dir().join("montsalvat-advise-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("no-rmi.json");
+        std::fs::write(&path, tracer.to_chrome_json(&[])).unwrap();
+        let err = run_advise(path.to_str().unwrap(), &AdviseOpts::default()).unwrap_err();
+        assert!(err.contains("nothing to advise on"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
