@@ -10,13 +10,23 @@ use montsalvat_core::image_builder::{build_partitioned_images, ImageOptions};
 use montsalvat_core::transform::transform;
 
 use crate::progs::{synthetic_program, WorkKind};
-use crate::report::{Scale, Series};
+use crate::report::{Measure, Scale, Series};
 
 /// Runs one sweep for a workload kind; x = % untrusted classes.
+///
+/// Quick-scale runs measure model charges only
+/// ([`Measure::ChargedOnly`]): the generated workload is
+/// deterministic, so the shape assertion in `tests/paper_shapes.rs`
+/// holds without wall-clock noise. Full scale keeps the paper's
+/// simulation-time measurement.
 pub fn sweep(kind: WorkKind, scale: Scale) -> Series {
     let (n_classes, percents): (usize, Vec<u32>) = match scale {
         Scale::Full => (100, (0..=10).map(|i| i * 10).collect()),
         Scale::Quick => (12, vec![0, 50, 100]),
+    };
+    let measure = match scale {
+        Scale::Full => Measure::Simulation,
+        Scale::Quick => Measure::ChargedOnly,
     };
     let label = match kind {
         WorkKind::Cpu => "CPU intensive operations",
@@ -33,9 +43,13 @@ pub fn sweep(kind: WorkKind, scale: Scale) -> Series {
         let app =
             PartitionedApp::launch(&trusted, &untrusted, config).expect("launch synthetic app");
         let cost = std::sync::Arc::clone(&app.shared.cost);
-        let start = cost.now();
+        let read = |cost: &sgx_sim::cost::CostModel| match measure {
+            Measure::Simulation => cost.now(),
+            Measure::ChargedOnly => cost.charged(),
+        };
+        let start = read(&cost);
         app.run_main().expect("synthetic main runs");
-        let elapsed = cost.now() - start;
+        let elapsed = read(&cost) - start;
         series.push(pct as f64, elapsed.as_secs_f64());
     }
     series

@@ -1,0 +1,79 @@
+//! Determinism contract of the open-loop traffic harness.
+//!
+//! The CI latency gate compares percentiles against a committed
+//! baseline, so the generator must be bit-reproducible: same seed →
+//! byte-identical arrival schedule and op mix, and the deterministic
+//! `sim-sgx-classic` lane must report identical percentiles across
+//! runs. Property tests pin the zipfian sampler to its key-space
+//! bound for arbitrary spaces and draws.
+
+use experiments::traffic::{
+    arrival_schedule, lanes, op_schedule, run_lane, TrafficConfig, ZipfSampler,
+};
+use proptest::prelude::*;
+use specjvm::montecarlo::Lcg;
+
+fn tiny() -> TrafficConfig {
+    TrafficConfig { requests: 120, key_space: 64, ..TrafficConfig::quick() }
+}
+
+#[test]
+fn same_seed_gives_byte_identical_schedules() {
+    let cfg = tiny();
+    assert_eq!(arrival_schedule(&cfg), arrival_schedule(&cfg));
+    assert_eq!(op_schedule(&cfg), op_schedule(&cfg));
+}
+
+#[test]
+fn different_seeds_give_different_schedules() {
+    let a = tiny();
+    let b = TrafficConfig { seed: a.seed + 1, ..tiny() };
+    assert_ne!(arrival_schedule(&a), arrival_schedule(&b));
+}
+
+#[test]
+fn gated_lane_percentiles_are_identical_across_runs() {
+    let cfg = tiny();
+    let gated = lanes()[0];
+    assert_eq!(gated.name, "sim-sgx-classic", "lane order pins the gated lane first");
+    let a = run_lane(gated, &cfg).expect("first run");
+    let b = run_lane(gated, &cfg).expect("second run");
+    assert_eq!(a.latencies_ns, b.latencies_ns, "per-request latencies are bit-identical");
+    assert_eq!(
+        (a.latency.p50_ns, a.latency.p95_ns, a.latency.p99_ns),
+        (b.latency.p50_ns, b.latency.p95_ns, b.latency.p99_ns),
+        "p50/p95/p99 are identical across runs"
+    );
+    assert_eq!(a.checksum, b.checksum, "response checksums are identical");
+    assert_eq!(a.model_time_ns, b.model_time_ns, "charged model time is identical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every zipfian draw lands strictly inside the configured key
+    /// space, for arbitrary spaces, exponents and uniform draws.
+    #[test]
+    fn zipf_respects_key_space_bound(
+        key_space in 1usize..600,
+        exponent in 0.1f64..2.5,
+        seed in any::<u64>(),
+    ) {
+        let zipf = ZipfSampler::new(key_space, exponent);
+        let mut rng = Lcg::new(seed);
+        for _ in 0..256 {
+            let key = zipf.sample(rng.next_f64());
+            prop_assert!(key < key_space, "key {key} outside space {key_space}");
+        }
+        // Edge draws stay in range too.
+        prop_assert!(zipf.sample(0.0) < key_space);
+        prop_assert!(zipf.sample(1.0) < key_space);
+    }
+
+    /// The arrival schedule is a pure function of the config.
+    #[test]
+    fn arrival_schedule_is_pure(seed in any::<u64>()) {
+        let cfg = TrafficConfig { seed, requests: 64, ..TrafficConfig::quick() };
+        prop_assert_eq!(arrival_schedule(&cfg), arrival_schedule(&cfg));
+    }
+}

@@ -29,6 +29,7 @@ use crate::error::VmError;
 use crate::exec::ctx::Ctx;
 use crate::exec::world::{ClassIndex, ExecModel, World, WorldStatsSnapshot};
 use crate::image_builder::NativeImage;
+use crate::provider::{self, CrossingDir, EnclaveProvider, ProviderKind};
 use crate::transform::is_relay_name;
 
 /// Configuration for launching applications.
@@ -77,6 +78,11 @@ pub struct AppConfig {
     /// running application can be re-toggled through
     /// [`AppShared::set_serde_fastpath`].
     pub serde_fastpath: Option<bool>,
+    /// How the trusted world is realized (see [`crate::provider`]).
+    /// `None` consults `MONTSALVAT_PROVIDER` at launch and defaults to
+    /// [`ProviderKind::SimSgx`]; `Some(_)` pins the deployment mode
+    /// regardless of the environment.
+    pub provider: Option<ProviderKind>,
 }
 
 impl Default for AppConfig {
@@ -94,6 +100,7 @@ impl Default for AppConfig {
             telemetry: None,
             trace: None,
             serde_fastpath: None,
+            provider: None,
         }
     }
 }
@@ -165,6 +172,9 @@ fn cost_model(config: &AppConfig) -> Arc<CostModel> {
 pub struct AppShared {
     /// The (simulated) enclave.
     pub enclave: Arc<Enclave>,
+    /// The deployment-mode provider every boundary crossing routes
+    /// through (see [`crate::provider`]).
+    pub provider: Arc<dyn EnclaveProvider>,
     /// The shared clock/cost model.
     pub cost: Arc<CostModel>,
     trusted: Arc<World>,
@@ -248,10 +258,14 @@ pub(crate) fn gc_sync_from(shared: &AppShared, side: Side) -> Result<usize, VmEr
         released
     };
     let released = match side {
-        // The untrusted helper enters the enclave to drop trusted mirrors.
-        Side::Untrusted => shared.enclave.ecall("ecall_gc_release", bytes, release),
-        // The trusted helper exits the enclave to drop untrusted mirrors.
-        Side::Trusted => shared.enclave.ocall("ocall_gc_release", bytes, release),
+        // The untrusted helper enters the trusted world to drop its mirrors.
+        Side::Untrusted => {
+            shared.provider.cross(CrossingDir::Enter, "ecall_gc_release", bytes, release)
+        }
+        // The trusted helper exits to drop untrusted mirrors.
+        Side::Trusted => {
+            shared.provider.cross(CrossingDir::Exit, "ocall_gc_release", bytes, release)
+        }
     };
     if let Some(span) = sweep_span {
         tracer.finish(span, shared.cost.now_ns());
@@ -339,11 +353,15 @@ impl PartitionedApp {
             &trusted_image.measurement_bytes(),
             Arc::clone(&cost),
         )?;
-        // Commit the compiled trusted image + runtime to the EPC.
-        enclave.alloc_heap(trusted_image.code_size_estimate())?;
-        if config.exec_model.runtime_heap_overhead_bytes > 0 {
-            enclave.alloc_heap(config.exec_model.runtime_heap_overhead_bytes)?;
-            enclave.charge_heap_traffic(config.exec_model.runtime_heap_overhead_bytes);
+        let provider = provider::build(provider::detect(config.provider), &enclave, &cost);
+        let shields = provider.shields_trusted_memory();
+        if shields {
+            // Commit the compiled trusted image + runtime to the EPC.
+            enclave.alloc_heap(trusted_image.code_size_estimate())?;
+            if config.exec_model.runtime_heap_overhead_bytes > 0 {
+                enclave.alloc_heap(config.exec_model.runtime_heap_overhead_bytes)?;
+                enclave.charge_heap_traffic(config.exec_model.runtime_heap_overhead_bytes);
+            }
         }
         cost.charge_ns(config.exec_model.startup_ns);
 
@@ -355,13 +373,13 @@ impl PartitionedApp {
 
         let trusted = World::new(
             Side::Trusted,
-            true,
+            shields,
             Arc::new(ClassIndex::from_classes(&trusted_image.classes)),
             config.heap_config.clone(),
             config.hash_scheme,
             config.exec_model.clone(),
             workdir.join("trusted.scratch"),
-            Some(&enclave),
+            shields.then_some(&enclave),
         );
         let untrusted = World::new(
             Side::Untrusted,
@@ -386,6 +404,7 @@ impl PartitionedApp {
 
         let shared = Arc::new(AppShared {
             enclave: Arc::clone(&enclave),
+            provider,
             cost,
             trusted,
             untrusted,
@@ -459,7 +478,8 @@ impl PartitionedApp {
         f(&mut ctx)
     }
 
-    /// Runs `f` in a fresh frame of the trusted world, under one ecall.
+    /// Runs `f` in a fresh frame of the trusted world, under one
+    /// enter-crossing (an ecall under the default provider).
     ///
     /// # Errors
     ///
@@ -468,7 +488,7 @@ impl PartitionedApp {
         &self,
         f: impl FnOnce(&mut Ctx<'_>) -> Result<R, VmError>,
     ) -> Result<R, VmError> {
-        self.enclave.ecall("ecall_enter", 0, || {
+        self.shared.provider.cross(CrossingDir::Enter, "ecall_enter", 0, || {
             let mut ctx = Ctx::new(&self.shared, Arc::clone(self.shared.world(Side::Trusted)));
             f(&mut ctx)
         })?
@@ -601,7 +621,8 @@ impl SingleWorldApp {
         let cost = cost_model(&config);
         let enclave =
             Enclave::create(&config.enclave_config, &image.measurement_bytes(), Arc::clone(&cost))?;
-        let in_enclave = placement == Placement::Enclave;
+        let provider = provider::build(provider::detect(config.provider), &enclave, &cost);
+        let in_enclave = placement == Placement::Enclave && provider.shields_trusted_memory();
         if in_enclave {
             enclave.alloc_heap(image.code_size_estimate())?;
             if config.exec_model.runtime_heap_overhead_bytes > 0 {
@@ -637,6 +658,7 @@ impl SingleWorldApp {
 
         let shared = Arc::new(AppShared {
             enclave: Arc::clone(&enclave),
+            provider,
             cost,
             trusted: Arc::clone(&world),
             untrusted: world,
@@ -677,7 +699,9 @@ impl SingleWorldApp {
             f(&mut ctx)
         };
         match self.placement {
-            Placement::Enclave => self.enclave.ecall("ecall_main", 0, run)?,
+            Placement::Enclave => {
+                self.shared.provider.cross(CrossingDir::Enter, "ecall_main", 0, run)?
+            }
             Placement::Host => run(),
         }
     }

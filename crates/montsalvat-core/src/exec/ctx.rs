@@ -1023,16 +1023,20 @@ fn cross_call(
         let wire_len = msg.wire_len();
 
         // The classic crossing: the relay software itself (isolate attach,
-        // edge-routine marshalling, registry work) on top of the raw
-        // hardware transition. Also the target the adaptive switchless
-        // engine degrades to when its mailbox is full.
+        // edge-routine marshalling, registry work) on top of whatever the
+        // deployment-mode provider charges for the raw crossing (a
+        // hardware transition under SimSgx, nothing under PassThrough).
+        // Also the target the adaptive switchless engine degrades to
+        // when its mailbox is full.
         let classic = || -> Result<WireMsg, VmError> {
-            app.cost.charge_ns(app.cost.params().relay_overhead_ns);
+            app.provider.charge_relay_overhead();
             let serve = || serve_relay(app, &callee, class_name, relay, &msg);
-            let served: Result<WireMsg, VmError> = match trust {
-                Side::Trusted => app.enclave.ecall(&routine, wire_len, serve)?,
-                Side::Untrusted => app.enclave.ocall(&routine, wire_len, serve)?,
+            let dir = match trust {
+                Side::Trusted => crate::provider::CrossingDir::Enter,
+                Side::Untrusted => crate::provider::CrossingDir::Exit,
             };
+            let served: Result<WireMsg, VmError> =
+                app.provider.cross(dir, &routine, wire_len, serve)?;
             served
         };
 

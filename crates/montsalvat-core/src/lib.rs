@@ -56,6 +56,7 @@ pub mod codegen;
 pub mod error;
 pub mod exec;
 pub mod image_builder;
+pub mod provider;
 pub mod samples;
 pub mod transform;
 
@@ -67,4 +68,5 @@ pub use exec::ctx::Ctx;
 pub use image_builder::{
     build_partitioned_images, build_unpartitioned_image, ImageOptions, NativeImage,
 };
+pub use provider::{CrossingDir, EnclaveProvider, ProviderKind};
 pub use transform::{transform, TransformedProgram};

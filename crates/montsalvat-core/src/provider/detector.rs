@@ -1,0 +1,88 @@
+//! Provider detection: explicit config, then environment, then default.
+//!
+//! Mirrors the shape of nvrc's `platform/detector.rs`: a pure decision
+//! function (`detect_from`, unit-testable) wrapped by an environment
+//! probe (`detect`). There is no hardware to sniff in the simulation,
+//! so the "platform probe" is the `MONTSALVAT_PROVIDER` variable.
+
+use super::ProviderKind;
+
+/// Environment variable consulted when the application config does not
+/// pin a provider. Accepted values are listed at [`parse_provider`].
+pub const PROVIDER_ENV: &str = "MONTSALVAT_PROVIDER";
+
+/// Parses a provider name. Accepts the canonical names
+/// (`sim-sgx`, `passthrough`) plus common spellings:
+/// `sim_sgx`/`simsgx`/`sim`/`sgx` and
+/// `pass-through`/`pass_through`/`none`. Case-insensitive.
+/// Returns `None` for anything else.
+pub fn parse_provider(raw: &str) -> Option<ProviderKind> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "sim-sgx" | "sim_sgx" | "simsgx" | "sim" | "sgx" => Some(ProviderKind::SimSgx),
+        "passthrough" | "pass-through" | "pass_through" | "none" => Some(ProviderKind::PassThrough),
+        _ => None,
+    }
+}
+
+/// Resolves the provider for a launch: an explicit config override
+/// wins, then [`PROVIDER_ENV`] from the process environment, then the
+/// [`ProviderKind::SimSgx`] default.
+pub fn detect(config_override: Option<ProviderKind>) -> ProviderKind {
+    detect_from(config_override, std::env::var(PROVIDER_ENV).ok().as_deref())
+}
+
+/// Pure core of [`detect`]: same precedence, environment value passed
+/// in. An unrecognized environment value falls back to the default
+/// rather than aborting the launch — a misspelled variable must not
+/// silently change what an experiment measures, and the default is the
+/// measured (SimSgx) configuration.
+pub fn detect_from(config_override: Option<ProviderKind>, env: Option<&str>) -> ProviderKind {
+    if let Some(kind) = config_override {
+        return kind;
+    }
+    if let Some(kind) = env.and_then(parse_provider) {
+        return kind;
+    }
+    ProviderKind::SimSgx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_override_beats_environment() {
+        assert_eq!(
+            detect_from(Some(ProviderKind::PassThrough), Some("sim-sgx")),
+            ProviderKind::PassThrough
+        );
+        assert_eq!(
+            detect_from(Some(ProviderKind::SimSgx), Some("passthrough")),
+            ProviderKind::SimSgx
+        );
+    }
+
+    #[test]
+    fn environment_spellings_parse() {
+        for raw in ["passthrough", "PASS-THROUGH", "pass_through", " none "] {
+            assert_eq!(detect_from(None, Some(raw)), ProviderKind::PassThrough, "{raw:?}");
+        }
+        for raw in ["sim-sgx", "SIM_SGX", "simsgx", "sim", "sgx"] {
+            assert_eq!(detect_from(None, Some(raw)), ProviderKind::SimSgx, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_or_missing_environment_defaults_to_sim_sgx() {
+        assert_eq!(detect_from(None, None), ProviderKind::SimSgx);
+        assert_eq!(detect_from(None, Some("tdx")), ProviderKind::SimSgx);
+        assert_eq!(detect_from(None, Some("")), ProviderKind::SimSgx);
+    }
+
+    #[test]
+    fn canonical_names_round_trip() {
+        for kind in [ProviderKind::SimSgx, ProviderKind::PassThrough] {
+            assert_eq!(parse_provider(kind.name()), Some(kind));
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The control-arm provider: no enclave, zero-cost crossings.
+
+use sgx_sim::SgxError;
+
+use super::{CrossingDir, EnclaveProvider, ProviderKind};
+
+/// Runs the trusted world as plain host code. Crossings execute the
+/// body directly: no transition counters, no model-time charges, no
+/// relay overhead, and — because
+/// [`shields_trusted_memory`](EnclaveProvider::shields_trusted_memory)
+/// is `false` — no EPC commits, MEE heap traffic, shim I/O relays or
+/// enclave serde/compute factors anywhere downstream. What remains is
+/// exactly the partitioning machinery itself (marshalling, relay
+/// dispatch, registry work, scheduler hand-offs), which makes this the
+/// baseline for "what does Montsalvat cost *without* SGX".
+#[derive(Debug, Default)]
+pub struct PassThrough;
+
+impl PassThrough {
+    /// Creates the provider; it carries no state.
+    pub fn new() -> Self {
+        PassThrough
+    }
+}
+
+impl EnclaveProvider for PassThrough {
+    fn kind(&self) -> ProviderKind {
+        ProviderKind::PassThrough
+    }
+
+    fn shields_trusted_memory(&self) -> bool {
+        false
+    }
+
+    fn charge_relay_overhead(&self) {}
+
+    fn cross_dyn(
+        &self,
+        _dir: CrossingDir,
+        _routine: &str,
+        _bytes: usize,
+        body: &mut dyn FnMut(),
+    ) -> Result<(), SgxError> {
+        body();
+        Ok(())
+    }
+}

@@ -187,6 +187,9 @@ metric_enum! {
         /// (see `telemetry::trace`; `rmi.calls` reconciles against
         /// traced spans plus this).
         TraceDropped => ("trace.dropped", "events"),
+        /// Requests completed by the open-loop traffic harness
+        /// (`traffic_service`; see `docs/DEPLOYMENT.md`).
+        TrafficRequests => ("traffic.requests", "requests"),
     }
 }
 
@@ -239,5 +242,12 @@ metric_enum! {
         SerdeEncodeClassicNs => ("serde.encode_classic_ns", "model_ns"),
         /// Model nanoseconds charged per fast-path (v2) payload encode.
         SerdeEncodeFastNs => ("serde.encode_fast_ns", "model_ns"),
+        /// Model nanoseconds an open-loop traffic request spent in the
+        /// system — queueing delay on the virtual arrival timeline plus
+        /// service time (`traffic_service`; see `docs/DEPLOYMENT.md`).
+        TrafficLatencyNs => ("traffic.request_latency_ns", "model_ns"),
+        /// Model nanoseconds of pure service time charged per traffic
+        /// request (the charged-clock delta of the request's RMI call).
+        TrafficServiceNs => ("traffic.service_ns", "model_ns"),
     }
 }

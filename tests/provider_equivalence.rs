@@ -1,0 +1,87 @@
+//! Provider equivalence: the deployment-mode provider layer must not
+//! change *what* an application computes, only what its crossings cost.
+//!
+//! Runs the kvstore traffic workload under `SimSgx` and `PassThrough`
+//! and asserts identical results (checksums, hit/miss/put counts) with
+//! strictly lower model time and zero enclave transitions for the
+//! pass-through lane, plus the `MONTSALVAT_PROVIDER` detection
+//! precedence end to end.
+
+use experiments::traffic::{lanes, run_lane, TrafficConfig};
+use montsalvat::core::exec::app::{AppConfig, PartitionedApp};
+use montsalvat::core::image_builder::{build_partitioned_images, ImageOptions};
+use montsalvat::core::provider::{ProviderKind, PROVIDER_ENV};
+use montsalvat::core::samples::bank_program;
+use montsalvat::core::transform::transform;
+
+fn tiny() -> TrafficConfig {
+    TrafficConfig { requests: 160, key_space: 96, ..TrafficConfig::quick() }
+}
+
+#[test]
+fn kvstore_workload_is_identical_across_providers() {
+    let all = lanes();
+    let sgx_lane = all[0];
+    let pt_lane = all[2];
+    assert_eq!(sgx_lane.provider, ProviderKind::SimSgx);
+    assert_eq!(pt_lane.provider, ProviderKind::PassThrough);
+
+    let cfg = tiny();
+    let sgx = run_lane(sgx_lane, &cfg).expect("sim-sgx lane");
+    let pt = run_lane(pt_lane, &cfg).expect("passthrough lane");
+
+    // Same computation: every response byte matches.
+    assert_eq!(sgx.checksum, pt.checksum, "providers must return identical responses");
+    assert_eq!(
+        (sgx.hits, sgx.misses, sgx.puts),
+        (pt.hits, pt.misses, pt.puts),
+        "hit/miss/put accounting must match across providers"
+    );
+
+    // Different cost: pass-through pays no crossings at all.
+    assert_eq!(pt.transitions(), 0, "pass-through performs zero enclave transitions");
+    assert!(sgx.transitions() > 0, "sim-sgx crosses for every relayed call");
+    assert!(
+        pt.model_time_ns < sgx.model_time_ns,
+        "pass-through model time ({}) must be strictly below sim-sgx ({})",
+        pt.model_time_ns,
+        sgx.model_time_ns
+    );
+}
+
+fn launch_bank(config: AppConfig) -> PartitionedApp {
+    let tp = transform(&bank_program());
+    let options = ImageOptions::default();
+    let (t, u) = build_partitioned_images(&tp, &options, &options).expect("images build");
+    PartitionedApp::launch(&t, &u, config).expect("app launches")
+}
+
+/// Detection precedence end to end: env selects the provider when the
+/// config leaves it open, and an explicit config pin beats the env.
+///
+/// Kept as a single test so only one thread touches `MONTSALVAT_PROVIDER`
+/// — every other test in the suite pins its provider via `AppConfig`.
+#[test]
+fn env_var_selects_provider_and_config_pin_wins() {
+    std::env::set_var(PROVIDER_ENV, "passthrough");
+
+    // provider: None → the detector consults the env.
+    let app = launch_bank(AppConfig { gc_helper_interval: None, ..AppConfig::default() });
+    app.run_main().expect("main runs");
+    let stats = app.sgx_stats();
+    assert_eq!(stats.ecalls, 0, "pass-through performs no ecalls");
+    assert_eq!(stats.ocalls, 0, "pass-through performs no ocalls");
+    app.shutdown();
+
+    // An explicit config pin beats the env.
+    let app = launch_bank(AppConfig {
+        gc_helper_interval: None,
+        provider: Some(ProviderKind::SimSgx),
+        ..AppConfig::default()
+    });
+    app.run_main().expect("main runs");
+    assert!(app.sgx_stats().ecalls > 0, "config-pinned sim-sgx still crosses");
+    app.shutdown();
+
+    std::env::remove_var(PROVIDER_ENV);
+}
