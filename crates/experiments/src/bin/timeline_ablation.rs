@@ -1,0 +1,255 @@
+//! Flight-recorder ablation: prove a seeded stall produces a
+//! detected, correctly-attributed latency spike.
+//!
+//! Runs the deterministic `sim-sgx-classic` traffic lane twice over
+//! the identical seed-pinned schedule: once **with** a synthetic GC
+//! stall injected into one mid-run request
+//! (`TrafficConfig::inject_gc`), once **without** (the control). The
+//! injected run must yield at least one spike window whose
+//! attribution names `gc`; the control must yield none — that is the
+//! ablation: the detector fires on the event we planted and only on
+//! it. Both runs also gate window-sum reconciliation: per-window
+//! `rmi.calls` and `traffic.requests` deltas must sum exactly to the
+//! lane's end-of-run aggregate, and the injected lane's
+//! `montsalvat.timeseries/v1` export must be byte-identical across two
+//! runs of the same seed.
+//!
+//! Flags: `--quick` (CI scale), `--json-out <path>` (the
+//! `montsalvat.timeline-ablation/v1` report), `--timeseries-out
+//! <path>` (the injected lane's timeseries export), `--prom-out
+//! <path>` (Prometheus text exposition of the same series).
+//!
+//! The process exits non-zero if any assertion fails, so CI needs no
+//! jq to get the safety — the jq gates in bench-smoke just make the
+//! numbers visible in the job log.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use experiments::report::Scale;
+use experiments::traffic::{lanes, run_lane, GcInjection, LaneResult, TrafficConfig};
+use telemetry::timeseries::{detect_spikes, Series, SpikeReport, WindowView, DEFAULT_SPIKE_FACTOR};
+use telemetry::Counter;
+
+/// Schema identifier of the emitted report.
+const ABLATION_SCHEMA: &str = "montsalvat.timeline-ablation/v1";
+
+/// The synthetic stall: ~2.5 ms of model time, two orders of
+/// magnitude above the lane's typical per-request service cost.
+const INJECTED_PAUSE_NS: u64 = 2_500_000;
+
+fn arg_value(name: &str) -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(PathBuf::from(v));
+        }
+    }
+    None
+}
+
+struct RunOutcome {
+    lane: LaneResult,
+    series: Series,
+    report: SpikeReport,
+}
+
+fn run(cfg: &TrafficConfig) -> RunOutcome {
+    let lane = run_lane(lanes()[0], cfg).expect("classic lane runs");
+    let series = lane.timeseries.clone().expect("flight recorder on");
+    let views: Vec<WindowView> = series.windows.iter().map(WindowView::from_window).collect();
+    let report = detect_spikes(&views, DEFAULT_SPIKE_FACTOR);
+    RunOutcome { lane, series, report }
+}
+
+fn gc_attributed(report: &SpikeReport) -> usize {
+    report.spikes.iter().filter(|s| s.causes.iter().any(|c| c.cause == "gc")).count()
+}
+
+struct Reconciliation {
+    metric: &'static str,
+    window_sum: u64,
+    aggregate: u64,
+}
+
+fn reconcile(outcome: &RunOutcome, counter: Counter, metric: &'static str) -> Reconciliation {
+    Reconciliation {
+        metric,
+        window_sum: outcome.series.windows.iter().map(|w| w.delta.counter(counter)).sum(),
+        aggregate: outcome.lane.snap.counter(counter),
+    }
+}
+
+fn spikes_json(report: &SpikeReport) -> String {
+    let mut out = String::new();
+    for (i, spike) in report.spikes.iter().enumerate() {
+        let causes: Vec<String> = spike
+            .causes
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"cause\": \"{}\", \"confidence\": \"{}\", \"evidence\": \"{}\"}}",
+                    c.cause,
+                    c.confidence.label(),
+                    c.evidence
+                )
+            })
+            .collect();
+        let comma = if i + 1 == report.spikes.len() { "" } else { "," };
+        writeln!(
+            out,
+            "      {{\"start_ns\": {}, \"end_ns\": {}, \"p95_ns\": {}, \"causes\": [{}]}}{comma}",
+            spike.start_ns,
+            spike.end_ns,
+            spike.latency_p95,
+            causes.join(", ")
+        )
+        .expect("write to string");
+    }
+    out
+}
+
+fn report_json(
+    scale_name: &str,
+    injection: GcInjection,
+    injected: &RunOutcome,
+    control: &RunOutcome,
+    recs: &[Reconciliation],
+) -> String {
+    let recs_json: Vec<String> = recs
+        .iter()
+        .map(|r| {
+            format!(
+                "    \"{}\": {{\"window_sum\": {}, \"aggregate\": {}, \"equal\": {}}}",
+                r.metric,
+                r.window_sum,
+                r.aggregate,
+                r.window_sum == r.aggregate
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"{ABLATION_SCHEMA}\",\n  \"scale\": \"{scale_name}\",\n  \
+         \"injection\": {{\"at_request\": {at}, \"pause_ns\": {pause}}},\n  \
+         \"window_ns\": {window_ns},\n  \"windows\": {windows},\n  \"dropped\": {dropped},\n  \
+         \"reconciliation\": {{\n{recs}\n  }},\n  \
+         \"spikes\": {{\"median_p95_ns\": {median}, \"threshold_ns\": {threshold}, \
+         \"active_windows\": {active}, \"count\": {count}, \"gc_attributed\": {gc}, \
+         \"detail\": [\n{detail}    ]}},\n  \
+         \"control\": {{\"count\": {ccount}, \"gc_attributed\": {cgc}}}\n}}\n",
+        at = injection.at_request,
+        pause = injection.pause_ns,
+        window_ns = injected.series.window_ns,
+        windows = injected.series.windows.len(),
+        dropped = injected.series.dropped,
+        recs = recs_json.join(",\n"),
+        median = injected.report.median_p95,
+        threshold = injected.report.threshold,
+        active = injected.report.active_windows,
+        count = injected.report.spikes.len(),
+        gc = gc_attributed(&injected.report),
+        detail = spikes_json(&injected.report),
+        ccount = control.report.spikes.len(),
+        cgc = gc_attributed(&control.report),
+    )
+}
+
+fn main() {
+    experiments::report::init_tracing_from_args();
+    let scale = Scale::from_args();
+    let scale_name = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let base = TrafficConfig::for_scale(scale);
+    // Mid-run, inside a calm phase, so the spike is the stall and not
+    // an arrival burst.
+    let injection = GcInjection { at_request: base.requests / 2, pause_ns: INJECTED_PAUSE_NS };
+    let injected_cfg = TrafficConfig { inject_gc: Some(injection), ..base.clone() };
+
+    println!(
+        "timeline ablation: {} requests, GC stall of {} ns injected at request {}",
+        base.requests, injection.pause_ns, injection.at_request
+    );
+
+    // Warm the process-wide serde buffer pools first: the very first
+    // run in a process takes a few unpooled allocations
+    // (`serde.pooled_bytes` differs), so byte-identical exports only
+    // hold between steady-state runs.
+    let _ = run(&base);
+
+    let injected = run(&injected_cfg);
+    let control = run(&base);
+
+    // Determinism: same seed, same config → byte-identical export.
+    let replay = run(&injected_cfg);
+    assert_eq!(
+        injected.series.to_json(),
+        replay.series.to_json(),
+        "seeded runs must export byte-identical montsalvat.timeseries/v1 documents"
+    );
+
+    // Window-sum reconciliation on the deterministic lane.
+    let recs = [
+        reconcile(&injected, Counter::RmiCalls, "rmi.calls"),
+        reconcile(&injected, Counter::TrafficRequests, "traffic.requests"),
+        reconcile(&control, Counter::RmiCalls, "rmi.calls.control"),
+        reconcile(&control, Counter::TrafficRequests, "traffic.requests.control"),
+    ];
+    for r in &recs {
+        assert_eq!(
+            r.window_sum, r.aggregate,
+            "window deltas must sum to the run aggregate for {}",
+            r.metric
+        );
+    }
+
+    // The ablation itself: the planted stall is detected and named;
+    // the control plants nothing and gets no GC attribution.
+    assert!(
+        !injected.report.spikes.is_empty(),
+        "the injected stall must register as a spike (median {} ns, threshold {} ns)",
+        injected.report.median_p95,
+        injected.report.threshold
+    );
+    assert!(
+        gc_attributed(&injected.report) >= 1,
+        "at least one spike must be attributed to the injected GC event: {:?}",
+        injected.report.spikes
+    );
+    assert_eq!(
+        gc_attributed(&control.report),
+        0,
+        "the control run injects nothing, so nothing may be GC-attributed: {:?}",
+        control.report.spikes
+    );
+
+    println!(
+        "ok: {} window(s), {} spike(s), {} gc-attributed (median p95 {} ns, threshold {} ns); \
+         control: {} spike(s), 0 gc-attributed; reconciliation holds for rmi.calls and \
+         traffic.requests",
+        injected.series.windows.len(),
+        injected.report.spikes.len(),
+        gc_attributed(&injected.report),
+        injected.report.median_p95,
+        injected.report.threshold,
+        control.report.spikes.len(),
+    );
+
+    let report = report_json(scale_name, injection, &injected, &control, &recs);
+    if let Some(path) = arg_value("--json-out") {
+        std::fs::write(&path, &report).expect("write ablation report");
+        println!("report ({ABLATION_SCHEMA}): {}", path.display());
+    }
+    if let Some(path) = arg_value("--timeseries-out") {
+        std::fs::write(&path, injected.series.to_json()).expect("write timeseries export");
+        println!("timeseries ({}): {}", telemetry::timeseries::SCHEMA, path.display());
+    }
+    if let Some(path) = arg_value("--prom-out") {
+        std::fs::write(&path, injected.series.to_prometheus()).expect("write exposition");
+        println!("exposition (prometheus text): {}", path.display());
+    }
+}

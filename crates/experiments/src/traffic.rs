@@ -51,6 +51,7 @@ use montsalvat_core::{ProviderKind, Trust};
 use runtime_sim::value::Value;
 use sgx_sim::cost::ClockMode;
 use specjvm::montecarlo::Lcg;
+use telemetry::timeseries::{FlightRecorder, Series, TimeseriesConfig};
 use telemetry::{Counter, Hist};
 
 use crate::report::Scale;
@@ -84,6 +85,20 @@ pub struct TrafficConfig {
     pub read_pct: u32,
     /// Value payload size for writes, bytes.
     pub value_bytes: usize,
+    /// Optional seeded fault injection: stall one request with a
+    /// synthetic GC pause so the flight recorder has a known spike to
+    /// detect and attribute (`timeline_ablation`). `None` for real
+    /// measurement runs — the CI latency baseline assumes no injection.
+    pub inject_gc: Option<GcInjection>,
+}
+
+/// A deterministic injected GC stall (see [`TrafficConfig::inject_gc`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcInjection {
+    /// Index of the request whose service time absorbs the pause.
+    pub at_request: usize,
+    /// Model nanoseconds the injected collection stalls the service.
+    pub pause_ns: u64,
 }
 
 impl TrafficConfig {
@@ -101,6 +116,7 @@ impl TrafficConfig {
             calm_len: 96,
             read_pct: 80,
             value_bytes: 96,
+            inject_gc: None,
         }
     }
 
@@ -291,11 +307,10 @@ pub fn percentiles(latencies: &[u64]) -> Percentiles {
     }
     let mut sorted = latencies.to_vec();
     sorted.sort_unstable();
-    let rank = |q: f64| -> u64 {
-        let n = sorted.len();
-        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
-        sorted[idx]
-    };
+    // Same nearest-rank definition as the telemetry histograms and the
+    // windowed time-series path, applied to exact sorted samples.
+    let rank =
+        |q: f64| -> u64 { sorted[telemetry::nearest_rank(sorted.len() as u64, q) as usize - 1] };
     Percentiles {
         p50_ns: rank(0.50),
         p95_ns: rank(0.95),
@@ -331,6 +346,10 @@ pub struct LaneResult {
     pub model_time_ns: u64,
     /// Per-lane telemetry (each lane runs under its own recorder).
     pub snap: telemetry::Snapshot,
+    /// Windowed time series of the lane (`montsalvat.timeseries/v1`),
+    /// ticked on the virtual completion timeline. `None` when
+    /// `MONTSALVAT_TIMESERIES=0`.
+    pub timeseries: Option<Series>,
 }
 
 impl LaneResult {
@@ -442,26 +461,35 @@ pub fn run_lane(spec: LaneSpec, cfg: &TrafficConfig) -> Result<LaneResult, VmErr
     ]);
     let (trusted, untrusted) = build_partitioned_images(&tp, &options, &options)
         .map_err(|e| VmError::App(e.to_string()))?;
+    // The lane's recorder and flight recorder exist before launch, so
+    // launch-time activity (image load, ctor crossings) lands in the
+    // windowed stream too and the per-window deltas sum exactly to the
+    // lane's end-of-run aggregate.
+    let recorder = telemetry::Recorder::new();
+    let ts_config = TimeseriesConfig::from_env();
+    let mut flight =
+        ts_config.enabled.then(|| FlightRecorder::new(Arc::clone(&recorder), ts_config));
     let config = AppConfig {
         gc_helper_interval: None,
         clock_mode: ClockMode::Virtual,
         provider: Some(spec.provider),
         switchless: spec.switchless.then(SwitchlessConfig::default),
-        telemetry: Some(telemetry::Recorder::new()),
+        telemetry: Some(Arc::clone(&recorder)),
         ..AppConfig::default()
     };
     let app = PartitionedApp::launch(&trusted, &untrusted, config)?;
     let cost = Arc::clone(&app.shared.cost);
-    let recorder = Arc::clone(app.telemetry());
     let model_start_ns = cost.charged().as_nanos() as u64;
 
+    let flight_ref = &mut flight;
     let (latencies_ns, checksum, hits, misses, puts, horizon_ns) = app.enter_untrusted(|ctx| {
         let service = ctx.new_object("KvService", &[])?;
         let mut latencies = Vec::with_capacity(ops.len());
         let mut checksum = 0xCBF2_9CE4_8422_2325u64;
         let (mut hits, mut misses, mut puts) = (0u64, 0u64, 0u64);
         let mut completion_ns = 0u64;
-        for op in &ops {
+        for (i, op) in ops.iter().enumerate() {
+            let injected = cfg.inject_gc.filter(|inj| inj.at_request == i);
             let before_ns = cost.charged().as_nanos() as u64;
             let ret = match op.kind {
                 OpKind::Get(key) => ctx.call(&service, "get", &[Value::Bytes(key_bytes(key))])?,
@@ -471,11 +499,26 @@ pub fn run_lane(spec: LaneSpec, cfg: &TrafficConfig) -> Result<LaneResult, VmErr
                     &[Value::Bytes(key_bytes(key)), Value::Bytes(value_bytes(cfg, key))],
                 )?,
             };
+            if let Some(inj) = injected {
+                // The stall charges inside the service measurement, so
+                // this request's latency carries the pause.
+                cost.charge_ns(inj.pause_ns);
+            }
             let service_ns = (cost.charged().as_nanos() as u64).saturating_sub(before_ns);
             // Open-loop accounting on the virtual arrival timeline.
             let start_ns = completion_ns.max(op.arrival_ns);
             completion_ns = start_ns + service_ns;
             let latency_ns = completion_ns - op.arrival_ns;
+            // Advance the window clock *before* recording, so the
+            // request's metrics — and the injected GC evidence — land
+            // in the window containing its completion.
+            if let Some(flight) = flight_ref.as_mut() {
+                flight.tick(completion_ns);
+            }
+            if let Some(inj) = injected {
+                recorder.incr(Counter::GcCollections);
+                recorder.record(Hist::GcPauseNs, inj.pause_ns);
+            }
             latencies.push(latency_ns);
             recorder.record(Hist::TrafficLatencyNs, latency_ns);
             recorder.record(Hist::TrafficServiceNs, service_ns);
@@ -499,6 +542,10 @@ pub fn run_lane(spec: LaneSpec, cfg: &TrafficConfig) -> Result<LaneResult, VmErr
     })?;
 
     let model_time_ns = (cost.charged().as_nanos() as u64).saturating_sub(model_start_ns);
+    // Seal the series before the final snapshot: nothing records
+    // between the two, so window sums reconcile with `snap` exactly
+    // on the deterministic (non-switchless) lanes.
+    let timeseries = flight.map(|f| f.finish(horizon_ns));
     let snap = app.telemetry_snapshot();
     app.shutdown();
 
@@ -517,6 +564,7 @@ pub fn run_lane(spec: LaneSpec, cfg: &TrafficConfig) -> Result<LaneResult, VmErr
         throughput_rps,
         model_time_ns,
         snap,
+        timeseries,
     })
 }
 
@@ -604,5 +652,45 @@ mod tests {
         assert_eq!(p.p99_ns, 100);
         assert_eq!(p.max_ns, 100);
         assert_eq!(p.mean_ns, 55);
+    }
+
+    #[test]
+    fn windowed_deltas_sum_to_lane_totals() {
+        let cfg = tiny();
+        let lane = run_lane(lanes()[0], &cfg).expect("classic lane runs");
+        let series = lane.timeseries.as_ref().expect("timeseries on by default");
+        assert_eq!(series.dropped, 0, "tiny run fits the ring");
+        assert!(series.windows.len() > 1, "the run spans several windows");
+        for counter in [Counter::RmiCalls, Counter::TrafficRequests] {
+            let window_sum: u64 = series.windows.iter().map(|w| w.delta.counter(counter)).sum();
+            assert_eq!(
+                window_sum,
+                lane.snap.counter(counter),
+                "window deltas must sum to the aggregate for {}",
+                counter.metric_name()
+            );
+        }
+        let latency_obs: u64 =
+            series.windows.iter().map(|w| w.delta.hist(Hist::TrafficLatencyNs).count).sum();
+        assert_eq!(latency_obs, cfg.requests as u64);
+    }
+
+    #[test]
+    fn injected_gc_stall_spikes_and_carries_its_evidence() {
+        use telemetry::timeseries::{detect_spikes, WindowView, DEFAULT_SPIKE_FACTOR};
+        let cfg = TrafficConfig {
+            inject_gc: Some(GcInjection { at_request: 80, pause_ns: 2_500_000 }),
+            ..tiny()
+        };
+        let lane = run_lane(lanes()[0], &cfg).expect("classic lane runs");
+        let series = lane.timeseries.as_ref().expect("timeseries on by default");
+        let views: Vec<WindowView> = series.windows.iter().map(WindowView::from_window).collect();
+        let report = detect_spikes(&views, DEFAULT_SPIKE_FACTOR);
+        assert!(!report.spikes.is_empty(), "the injected stall must register as a spike");
+        assert!(
+            report.spikes.iter().any(|s| s.causes.iter().any(|c| c.cause == "gc")),
+            "at least one spike must carry the injected GC evidence: {:?}",
+            report.spikes
+        );
     }
 }

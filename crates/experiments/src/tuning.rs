@@ -262,6 +262,7 @@ pub fn simulate(config: &SimConfig, params: &CostParams) -> SimResult {
             }
         }
         recorder.gauge_max(Gauge::SwitchlessQueueDepthPeak, queue.len() as u64);
+        recorder.gauge_set(Gauge::SwitchlessQueueDepth, queue.len() as u64);
 
         // Service: each worker is one potential wakeup this tick.
         for _ in 0..workers {
@@ -349,6 +350,7 @@ pub fn simulate(config: &SimConfig, params: &CostParams) -> SimResult {
         }
 
         recorder.gauge_max(Gauge::SwitchlessWorkersPeak, workers as u64);
+        recorder.gauge_set(Gauge::SwitchlessWorkers, workers as u64);
         t += 1;
     }
 

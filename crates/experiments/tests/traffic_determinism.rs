@@ -48,6 +48,29 @@ fn gated_lane_percentiles_are_identical_across_runs() {
     assert_eq!(a.model_time_ns, b.model_time_ns, "charged model time is identical");
 }
 
+#[test]
+fn gated_lane_timeseries_exports_are_byte_identical_across_runs() {
+    let cfg = tiny();
+    let gated = lanes()[0];
+    // Warm the process-wide serde buffer pools first: the very first
+    // run in a process takes a few unpooled allocations (its
+    // `serde.pooled_bytes` differs), so byte-identical exports only
+    // hold between steady-state runs.
+    let _ = run_lane(gated, &cfg).expect("warm-up run");
+    let a = run_lane(gated, &cfg).expect("first run");
+    let b = run_lane(gated, &cfg).expect("second run");
+    let a = a.timeseries.expect("flight recorder on by default");
+    let b = b.timeseries.expect("flight recorder on by default");
+    assert!(!a.windows.is_empty(), "the run spans at least one window");
+    assert_eq!(a.dropped, 0, "the tiny run fits the default ring");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "seeded runs export byte-identical montsalvat.timeseries/v1 documents"
+    );
+    assert_eq!(a.to_prometheus(), b.to_prometheus(), "expositions are identical too");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -347,6 +347,9 @@ impl SwitchlessPool {
             pool.cost
                 .recorder()
                 .gauge_max(telemetry::Gauge::SwitchlessWorkersPeak, pool.config.min_workers as u64);
+            pool.cost
+                .recorder()
+                .gauge_set(telemetry::Gauge::SwitchlessWorkers, pool.config.min_workers as u64);
         }
         pool
     }
@@ -403,10 +406,9 @@ impl SwitchlessPool {
         state.queued.fetch_add(1, Ordering::Relaxed);
         match self.tx(side).try_send(job) {
             Ok(()) => {
-                recorder.gauge_max(
-                    telemetry::Gauge::SwitchlessQueueDepthPeak,
-                    state.queued.load(Ordering::Relaxed) as u64,
-                );
+                let queued = state.queued.load(Ordering::Relaxed) as u64;
+                recorder.gauge_max(telemetry::Gauge::SwitchlessQueueDepthPeak, queued);
+                recorder.gauge_set(telemetry::Gauge::SwitchlessQueueDepth, queued);
                 // The hand-off itself; the worker charges the wake and
                 // the batched boundary copy when it drains the mailbox.
                 self.cost.charge_ns(self.cost.params().switchless_call_ns);
@@ -500,6 +502,7 @@ impl SwitchlessPool {
                         .tuner_target
                         .store((n + 1).min(self.config.max_workers), Ordering::Relaxed);
                     recorder.gauge_max(telemetry::Gauge::SwitchlessWorkersPeak, (n + 1) as u64);
+                    recorder.gauge_set(telemetry::Gauge::SwitchlessWorkers, (n + 1) as u64);
                     self.spawn_worker(state);
                     ups += 1;
                 }
@@ -563,6 +566,7 @@ impl SwitchlessPool {
                 let recorder = self.cost.recorder();
                 recorder.incr(telemetry::Counter::SwitchlessScaleUps);
                 recorder.gauge_max(telemetry::Gauge::SwitchlessWorkersPeak, (n + 1) as u64);
+                recorder.gauge_set(telemetry::Gauge::SwitchlessWorkers, (n + 1) as u64);
                 self.spawn_worker(state);
                 return;
             }
@@ -695,6 +699,10 @@ fn worker_loop(
                 let floor = state.tuner_target.load(Ordering::Relaxed).max(config.min_workers);
                 if try_retire(state, floor) {
                     recorder.incr(telemetry::Counter::SwitchlessScaleDowns);
+                    recorder.gauge_set(
+                        telemetry::Gauge::SwitchlessWorkers,
+                        state.active.load(Ordering::Relaxed) as u64,
+                    );
                     state.idle.fetch_sub(1, Ordering::Relaxed);
                     return;
                 }

@@ -316,6 +316,7 @@ impl Heap {
             rec.incr(telemetry::Counter::HeapAllocObjects);
             rec.add(telemetry::Counter::HeapAllocBytes, size);
             rec.gauge_max(telemetry::Gauge::HeapLiveBytesPeak, self.live_bytes);
+            rec.gauge_set(telemetry::Gauge::HeapLiveBytes, self.live_bytes);
         }
         Ok(ObjId { index: slot_idx, gen: self.slots[slot_idx as usize].gen })
     }
@@ -497,6 +498,9 @@ impl Heap {
             rec.add(telemetry::Counter::GcBytesCopied, outcome.bytes_copied);
             rec.add(telemetry::Counter::GcBytesFreed, outcome.bytes_freed);
             rec.record(telemetry::Hist::GcPauseNs, pause_ns);
+            // Post-collection live level: the flight recorder's
+            // per-window heap residency sample.
+            rec.gauge_set(telemetry::Gauge::HeapLiveBytes, self.live_bytes);
         }
         if let (Some(sink), Some(span)) = (&self.trace, gc_span) {
             sink.tracer.finish(span, (sink.model_clock)());

@@ -177,6 +177,7 @@ impl Enclave {
         let recorder = cost.recorder();
         recorder.add(Counter::EpcFaults, charge.faults);
         recorder.gauge_max(Gauge::EpcResidentPeak, epc.resident_bytes());
+        recorder.gauge_set(Gauge::EpcResident, epc.resident_bytes());
         Ok(Arc::new(Enclave {
             id: NEXT_ENCLAVE_ID.fetch_add(1, Ordering::Relaxed),
             measurement,
@@ -358,6 +359,7 @@ impl Enclave {
         let recorder = self.cost.recorder();
         recorder.add(Counter::EpcFaults, charge.faults);
         recorder.gauge_max(Gauge::EpcResidentPeak, resident);
+        recorder.gauge_set(Gauge::EpcResident, resident);
         self.cost.charge_ns(charge.ns);
         self.trace_aex(charge.faults);
         Ok(())
@@ -381,7 +383,11 @@ impl Enclave {
 
     /// Releases `bytes` of enclave heap.
     pub fn free_heap(&self, bytes: u64) {
-        self.epc.lock().shrink(bytes);
+        let mut epc = self.epc.lock();
+        epc.shrink(bytes);
+        let resident = epc.resident_bytes();
+        drop(epc);
+        self.cost.recorder().gauge_set(Gauge::EpcResident, resident);
     }
 
     /// Charges MEE + EPC costs for `bytes` of ordinary in-enclave heap

@@ -28,6 +28,21 @@ pub fn bucket_upper_bound(index: usize) -> u64 {
     }
 }
 
+/// Nearest-rank position of the `q`-quantile (`q` in `[0, 1]`) in a
+/// sorted sample of `count` observations: the 1-based rank
+/// `ceil(q * count)`, clamped into `[1, count]`. Returns 0 when the
+/// sample is empty. This is the one definition of "percentile" shared
+/// by [`HistogramSnapshot::quantile`], the traffic harness's sorted
+/// per-request latencies, and the windowed time-series path, so all
+/// three report the same statistic.
+pub fn nearest_rank(count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    ((q * count as f64).ceil() as u64).clamp(1, count)
+}
+
 /// A lock-free histogram over power-of-two buckets.
 ///
 /// Recording is two relaxed `fetch_add`s plus one on the bucket, so
@@ -126,11 +141,10 @@ impl HistogramSnapshot {
     /// all the power-of-two bucketing can promise. Returns 0 when the
     /// snapshot is empty.
     pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
+        let rank = nearest_rank(self.count, q);
+        if rank == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (index, &bucket) in self.buckets.iter().enumerate() {
             seen += bucket;
@@ -238,6 +252,17 @@ mod tests {
         // 1000 lands in [512, 1024); only the max reaches it.
         assert_eq!(snap.quantile(1.0), 1024);
         assert_eq!(snap.quantile(0.0), 4, "q=0 is the first observation's bucket");
+    }
+
+    #[test]
+    fn nearest_rank_matches_the_classic_definition() {
+        assert_eq!(nearest_rank(0, 0.95), 0, "empty sample has no rank");
+        assert_eq!(nearest_rank(10, 0.0), 1, "q=0 clamps to the minimum");
+        assert_eq!(nearest_rank(10, 0.5), 5);
+        assert_eq!(nearest_rank(10, 0.95), 10);
+        assert_eq!(nearest_rank(10, 1.0), 10);
+        assert_eq!(nearest_rank(3, 2.0), 3, "q clamps into [0, 1]");
+        assert_eq!(nearest_rank(100, 0.501), 51);
     }
 
     #[test]

@@ -40,9 +40,12 @@
 mod hist;
 mod recorder;
 mod snapshot;
+pub mod timeseries;
 pub mod trace;
 
-pub use hist::{bucket_index, bucket_upper_bound, AtomicHistogram, HistogramSnapshot, BUCKETS};
+pub use hist::{
+    bucket_index, bucket_upper_bound, nearest_rank, AtomicHistogram, HistogramSnapshot, BUCKETS,
+};
 pub use recorder::{aggregate, Recorder, Span, SpanModel};
 pub use snapshot::{extract_counter, Snapshot};
 
@@ -190,6 +193,10 @@ metric_enum! {
         /// Requests completed by the open-loop traffic harness
         /// (`traffic_service`; see `docs/DEPLOYMENT.md`).
         TrafficRequests => ("traffic.requests", "requests"),
+        /// Time-series windows discarded because the flight recorder's
+        /// ring was full (see [`timeseries`]; fill-then-drop like the
+        /// trace lanes).
+        TimeseriesDropped => ("timeseries.dropped", "windows"),
     }
 }
 
@@ -211,6 +218,22 @@ metric_enum! {
         /// (last-value, via [`Recorder::gauge_set`]; equals the
         /// configured `max_batch` until the tuner changes it).
         SwitchlessTargetBatch => ("rmi.switchless_target_batch", "jobs"),
+        /// Current EPC-resident bytes committed by an enclave
+        /// (last-value, via [`Recorder::gauge_set`]; the per-window
+        /// level behind [`EpcResidentPeak`](Gauge::EpcResidentPeak)).
+        EpcResident => ("sgx.epc_resident", "bytes"),
+        /// Current live bytes on a simulated heap (last-value; the
+        /// per-window level behind
+        /// [`HeapLiveBytesPeak`](Gauge::HeapLiveBytesPeak)).
+        HeapLiveBytes => ("gc.heap_live_bytes", "bytes"),
+        /// Current resident switchless workers on one side
+        /// (last-value; the per-window level behind
+        /// [`SwitchlessWorkersPeak`](Gauge::SwitchlessWorkersPeak)).
+        SwitchlessWorkers => ("rmi.switchless_workers", "workers"),
+        /// Most recently observed switchless mailbox depth
+        /// (last-value; the per-window level behind
+        /// [`SwitchlessQueueDepthPeak`](Gauge::SwitchlessQueueDepthPeak)).
+        SwitchlessQueueDepth => ("rmi.switchless_queue_depth", "jobs"),
     }
 }
 

@@ -282,4 +282,23 @@ mod tests {
         // Concurrent tests may add more, so >= rather than ==.
         assert!(total.counter(Counter::WeakDeadFound) >= 1_000_000);
     }
+
+    #[test]
+    fn gauge_set_levels_survive_app_drop_into_the_aggregate() {
+        // Last-value gauges ride the same graveyard merge as counters
+        // when their app (and so its recorder) is dropped. The merge
+        // maxes gauges, so the distinctive level must be visible as a
+        // floor in the aggregate afterwards.
+        let r = Recorder::new();
+        r.gauge_set(Gauge::SwitchlessQueueDepth, 41);
+        r.gauge_set(Gauge::SwitchlessQueueDepth, 37_777);
+        assert_eq!(r.gauge(Gauge::SwitchlessQueueDepth), 37_777, "set overwrites");
+        drop(r);
+        let total = aggregate();
+        assert!(
+            total.gauge(Gauge::SwitchlessQueueDepth) >= 37_777,
+            "graveyard lost the last-value gauge: {}",
+            total.gauge(Gauge::SwitchlessQueueDepth)
+        );
+    }
 }

@@ -52,6 +52,32 @@ impl Snapshot {
         }
     }
 
+    /// Returns the activity between `earlier` and this snapshot, for
+    /// windowed time-series sampling: counters and histogram buckets
+    /// subtract (saturating, so a racy pair degrades to undercounting
+    /// instead of wrapping), while gauges keep *this* snapshot's
+    /// values — a gauge is a level, not a flow, so the window reports
+    /// the level observed at its close.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (mine, old) in out.counters.iter_mut().zip(&earlier.counters) {
+            *mine = mine.saturating_sub(*old);
+        }
+        for (mine, (now, old)) in out.hists.iter_mut().zip(self.hists.iter().zip(&earlier.hists)) {
+            *mine = now.diff(old);
+        }
+        out
+    }
+
+    /// Returns whether any counter incremented or any histogram
+    /// observed a value — i.e. whether this snapshot (typically a
+    /// [`Snapshot::delta_since`] window) records any flow. Gauge
+    /// levels alone do not count as activity: an idle window holds its
+    /// last-seen levels without being worth storing.
+    pub fn has_activity(&self) -> bool {
+        self.counters.iter().any(|&c| c != 0) || self.hists.iter().any(|h| h.count != 0)
+    }
+
     /// Serialises the snapshot as the versioned JSON document written
     /// by `--telemetry-out` (see `docs/TELEMETRY.md` for the schema
     /// contract). Metric order is stable across runs, so documents
@@ -151,6 +177,33 @@ mod tests {
         let before = a.clone();
         a.merge(&Snapshot::default());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn delta_since_subtracts_flows_and_keeps_levels() {
+        let mut earlier = Snapshot::default();
+        earlier.counters[Counter::RmiCalls as usize] = 10;
+        earlier.gauges[Gauge::EpcResidentPeak as usize] = 4096;
+        earlier.hists[Hist::GcPauseNs as usize].buckets[5] = 2;
+        earlier.hists[Hist::GcPauseNs as usize].count = 2;
+        earlier.hists[Hist::GcPauseNs as usize].sum = 40;
+
+        let mut now = earlier.clone();
+        now.counters[Counter::RmiCalls as usize] = 17;
+        now.gauges[Gauge::EpcResidentPeak as usize] = 8192;
+        now.hists[Hist::GcPauseNs as usize].buckets[5] = 3;
+        now.hists[Hist::GcPauseNs as usize].count = 3;
+        now.hists[Hist::GcPauseNs as usize].sum = 70;
+
+        let delta = now.delta_since(&earlier);
+        assert_eq!(delta.counter(Counter::RmiCalls), 7);
+        assert_eq!(delta.gauge(Gauge::EpcResidentPeak), 8192, "gauges are levels");
+        assert_eq!(delta.hist(Hist::GcPauseNs).count, 1);
+        assert_eq!(delta.hist(Hist::GcPauseNs).sum, 30);
+
+        assert!(delta.has_activity());
+        let idle = now.delta_since(&now);
+        assert!(!idle.has_activity(), "gauge levels alone are not activity");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!                                          # (Chrome/Perfetto JSON)
 //! montsalvat trace-report trace.json       # summarize a captured trace
 //! montsalvat advise trace.json             # recommend re-annotations
+//! montsalvat timeline timeseries.json      # render windowed timelines
+//!                                          # and attribute latency spikes
 //! montsalvat example                       # print a sample description
 //! ```
 //!
@@ -104,6 +106,28 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("timeline") => {
+            let Some(input) = args.get(1) else {
+                eprintln!("usage: montsalvat timeline <timeseries.json> [--k <factor>]");
+                return ExitCode::FAILURE;
+            };
+            let k = args
+                .iter()
+                .position(|a| a == "--k")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|n| n.parse().ok())
+                .unwrap_or(montsalvat::telemetry::timeseries::DEFAULT_SPIKE_FACTOR);
+            match run_timeline(input, k) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("advise") => {
             let Some(input) = args.get(1) else {
                 eprintln!(
@@ -157,6 +181,12 @@ fn main() -> ExitCode {
             eprintln!(
                 "                                  re-annotation plan (docs/PARTITIONING.md)"
             );
+            eprintln!("  timeline <timeseries.json> [--k <factor>]");
+            eprintln!("                                  render a montsalvat.timeseries/v1");
+            eprintln!("                                  export as aligned per-window");
+            eprintln!("                                  timelines and attribute latency");
+            eprintln!("                                  spikes (> k x median p95) to");
+            eprintln!("                                  co-occurring GC/EPC/queue events");
             eprintln!("  example                         print a sample description");
             ExitCode::FAILURE
         }
@@ -295,6 +325,116 @@ fn run_trace_report(input: &str, top: usize) -> Result<String, String> {
     Ok(render_trace_report(&trace, top))
 }
 
+/// Reads a `montsalvat.timeseries/v1` export and renders the aligned
+/// per-window timeline plus the spike report.
+fn run_timeline(input: &str, k: f64) -> Result<String, String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let series = montsalvat::telemetry::timeseries::parse_timeseries(&text)
+        .map_err(|e| format!("parsing {input}: {e}"))?;
+    Ok(render_timeline(&series, k))
+}
+
+/// Builds the timeline report: a header (with an explicit WARN when
+/// the recording ring dropped windows), one aligned row per stored
+/// window, and the spike detector's verdict with per-spike cause
+/// attribution. The detector is the library's — the CLI sees exactly
+/// what `timeline_ablation` gates.
+fn render_timeline(series: &montsalvat::telemetry::timeseries::ParsedSeries, k: f64) -> String {
+    use montsalvat::telemetry::timeseries::{
+        detect_spikes, WindowView, MIN_ACTIVE_WINDOWS, SCHEMA,
+    };
+    use std::fmt::Write as _;
+
+    let views: Vec<WindowView> = series.windows.iter().map(WindowView::from_parsed).collect();
+    let report = detect_spikes(&views, k);
+    let spiky: std::collections::HashSet<usize> =
+        report.spikes.iter().map(|s| s.window_index).collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== timeline report ==");
+    let _ = writeln!(
+        out,
+        "{SCHEMA}: {} window(s) of {}, ring capacity {}, dropped {}",
+        series.windows.len(),
+        fmt_ns(series.window_ns),
+        series.capacity,
+        series.dropped
+    );
+    if series.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARN: {} window(s) dropped — the ring filled, the newest activity is \
+             missing; raise MONTSALVAT_TIMESERIES_WINDOW or the capacity",
+            series.dropped
+        );
+    }
+
+    let _ = writeln!(out, "\n-- per-window timeline --");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>14} {:>6} {:>14} {:>4} {:>5} {:>4} {:>5} {:>4}",
+        "win", "start", "reqs", "p95 latency", "gc", "epc", "wrk", "queue", "fbk"
+    );
+    for (i, v) in views.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>14} {:>6} {:>14} {:>4} {:>5} {:>4} {:>5} {:>4}{}",
+            i,
+            fmt_ns(v.start_ns),
+            v.requests,
+            fmt_ns(v.latency_p95),
+            v.gc_events,
+            v.epc_faults,
+            v.workers,
+            v.queue_depth,
+            v.fallbacks,
+            if spiky.contains(&i) { "  <- SPIKE" } else { "" }
+        );
+    }
+
+    let _ = writeln!(out, "\n-- spike report --");
+    if report.active_windows < MIN_ACTIVE_WINDOWS {
+        let _ = writeln!(
+            out,
+            "{} latency-bearing window(s) — fewer than the {MIN_ACTIVE_WINDOWS} the \
+             detector needs; nothing flagged",
+            report.active_windows
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{} latency-bearing window(s), median p95 {}, threshold {} (k = {k})",
+        report.active_windows,
+        fmt_ns(report.median_p95),
+        fmt_ns(report.threshold)
+    );
+    if report.spikes.is_empty() {
+        let _ = writeln!(out, "no spikes: every window's p95 stayed under the threshold");
+        return out;
+    }
+    for spike in &report.spikes {
+        let _ = writeln!(
+            out,
+            "spike at window {} [{} .. {}): p95 {}",
+            spike.window_index,
+            fmt_ns(spike.start_ns),
+            fmt_ns(spike.end_ns),
+            fmt_ns(spike.latency_p95)
+        );
+        for cause in &spike.causes {
+            let _ = writeln!(
+                out,
+                "  {} ({} confidence): {}",
+                cause.cause,
+                cause.confidence.label(),
+                cause.evidence
+            );
+        }
+    }
+    out
+}
+
 /// Parsed flags of the `advise` subcommand.
 #[derive(Default)]
 struct AdviseOpts {
@@ -430,11 +570,18 @@ fn render_trace_report(trace: &montsalvat::telemetry::trace::ParsedTrace, top: u
         spans.len(),
         fmt_ns(tree_total)
     );
+    let dropped = trace.other("dropped").unwrap_or(0);
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARN: {dropped} trace event(s) dropped — the ring filled, call trees may \
+             be truncated; raise MONTSALVAT_TRACE_BUFFER"
+        );
+    }
 
     // Reconciliation: every cross_call opens exactly one cat-"rmi"
     // span, so telemetry's rmi.calls and the trace agree modulo drops.
     let rmi_spans = spans.iter().filter(|s| s.cat == "rmi").count() as u64;
-    let dropped = trace.other("dropped").unwrap_or(0);
     if let Some(rmi_calls) = trace.other("rmi_calls") {
         let verdict = if rmi_calls == rmi_spans
             || (rmi_spans <= rmi_calls && rmi_calls <= rmi_spans + dropped)
@@ -828,6 +975,85 @@ mod tests {
         let err = run_advise(path.to_str().unwrap(), &AdviseOpts::default()).unwrap_err();
         assert!(err.contains("nothing to advise on"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Records five 1 µs windows of traffic — calm except window 3,
+    /// which carries a ~1 ms latency observation plus one GC event —
+    /// and returns the sealed series.
+    fn spiky_series(capacity: usize) -> montsalvat::telemetry::timeseries::Series {
+        use montsalvat::telemetry::timeseries::{FlightRecorder, TimeseriesConfig};
+        use montsalvat::telemetry::{Counter, Hist, Recorder};
+        let recorder = Recorder::new();
+        let cfg = TimeseriesConfig { enabled: true, window_ns: 1_000, capacity };
+        let mut flight = FlightRecorder::new(std::sync::Arc::clone(&recorder), cfg);
+        for w in 0..5u64 {
+            recorder.incr(Counter::TrafficRequests);
+            let latency = if w == 3 { 1_000_000 } else { 1_000 };
+            recorder.record(Hist::TrafficLatencyNs, latency);
+            if w == 3 {
+                recorder.incr(Counter::GcCollections);
+            }
+            flight.tick((w + 1) * 1_000);
+        }
+        flight.finish(5_000)
+    }
+
+    #[test]
+    fn timeline_renders_windows_and_attributes_the_gc_spike() {
+        let series = spiky_series(64);
+        let dir = std::env::temp_dir().join("montsalvat-timeline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("timeseries.json");
+        std::fs::write(&path, series.to_json()).unwrap();
+        let report = run_timeline(path.to_str().unwrap(), 4.0).expect("timeline renders");
+        assert!(report.contains("montsalvat.timeseries/v1"), "{report}");
+        assert!(report.contains("5 window(s)"), "{report}");
+        assert!(report.contains("<- SPIKE"), "{report}");
+        assert!(report.contains("gc (high confidence)"), "{report}");
+        // A clean recording gets no drop warning.
+        assert!(!report.contains("WARN"), "{report}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn timeline_header_warns_when_the_ring_dropped_windows() {
+        // Capacity 2 against five active windows: three are dropped.
+        let series = spiky_series(2);
+        assert!(series.dropped > 0);
+        let dir = std::env::temp_dir().join("montsalvat-timeline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dropped.json");
+        std::fs::write(&path, series.to_json()).unwrap();
+        let report = run_timeline(path.to_str().unwrap(), 4.0).expect("timeline renders");
+        assert!(report.contains("WARN"), "{report}");
+        assert!(report.contains("MONTSALVAT_TIMESERIES_WINDOW"), "{report}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn timeline_rejects_non_timeseries_documents() {
+        let dir = std::env::temp_dir().join("montsalvat-timeline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("not-a-series.json");
+        std::fs::write(&path, "{\"schema\": \"something.else/v9\"}\n").unwrap();
+        let err = run_timeline(path.to_str().unwrap(), 4.0).unwrap_err();
+        assert!(err.contains("montsalvat.timeseries/v1"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_report_warns_on_dropped_events() {
+        use montsalvat::telemetry::trace::{parse_chrome_trace, Lane, Tracer};
+        let tracer = Tracer::new();
+        tracer.enable_with_capacity(4);
+        for i in 0..16u64 {
+            tracer.span_at(Lane::Trusted, "gc", None, i * 10, i * 10 + 5, i * 10, || "gc".into());
+        }
+        assert!(tracer.dropped() > 0);
+        let parsed = parse_chrome_trace(&tracer.to_chrome_json(&[])).unwrap();
+        let report = render_trace_report(&parsed, 3);
+        assert!(report.contains("WARN"), "{report}");
+        assert!(report.contains("MONTSALVAT_TRACE_BUFFER"), "{report}");
     }
 
     #[test]
