@@ -48,6 +48,7 @@ use montsalvat_core::exec::switchless::SwitchlessConfig;
 use montsalvat_core::image_builder::{build_partitioned_images, ImageOptions};
 use montsalvat_core::transform::transform;
 use montsalvat_core::{ProviderKind, Trust};
+use runtime_sim::heap::CollectorKind;
 use runtime_sim::value::Value;
 use sgx_sim::cost::ClockMode;
 use specjvm::montecarlo::Lcg;
@@ -90,6 +91,16 @@ pub struct TrafficConfig {
     /// detect and attribute (`timeline_ablation`). `None` for real
     /// measurement runs — the CI latency baseline assumes no injection.
     pub inject_gc: Option<GcInjection>,
+    /// Collector the lanes run under (`None` keeps the
+    /// `AppConfig` default resolution: `MONTSALVAT_GC` env, then the
+    /// semispace reference collector). The whole schedule is identical
+    /// either way; only GC pauses and `gc.*` telemetry differ.
+    pub collector: Option<CollectorKind>,
+    /// Optional managed-heap churn riding on the request stream, so GC
+    /// telemetry (pauses, block gauges) flows through the windowed
+    /// time-series. `None` for measurement runs — the CI latency
+    /// baseline assumes no churn.
+    pub gc_churn: Option<GcChurn>,
 }
 
 /// A deterministic injected GC stall (see [`TrafficConfig::inject_gc`]).
@@ -99,6 +110,18 @@ pub struct GcInjection {
     pub at_request: usize,
     /// Model nanoseconds the injected collection stalls the service.
     pub pause_ns: u64,
+}
+
+/// Deterministic managed-heap churn (see [`TrafficConfig::gc_churn`]):
+/// every `every`-th request allocates `garbage_bytes` of short-lived
+/// managed objects and forces a minor cycle; every fourth such event
+/// escalates to a major, so both generations see real collections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcChurn {
+    /// Request period between churn events (≥ 1).
+    pub every: usize,
+    /// Garbage allocated per churn event, bytes.
+    pub garbage_bytes: u64,
 }
 
 impl TrafficConfig {
@@ -117,6 +140,8 @@ impl TrafficConfig {
             read_pct: 80,
             value_bytes: 96,
             inject_gc: None,
+            collector: None,
+            gc_churn: None,
         }
     }
 
@@ -475,6 +500,7 @@ pub fn run_lane(spec: LaneSpec, cfg: &TrafficConfig) -> Result<LaneResult, VmErr
         provider: Some(spec.provider),
         switchless: spec.switchless.then(SwitchlessConfig::default),
         telemetry: Some(Arc::clone(&recorder)),
+        collector: cfg.collector,
         ..AppConfig::default()
     };
     let app = PartitionedApp::launch(&trusted, &untrusted, config)?;
@@ -488,6 +514,7 @@ pub fn run_lane(spec: LaneSpec, cfg: &TrafficConfig) -> Result<LaneResult, VmErr
         let mut checksum = 0xCBF2_9CE4_8422_2325u64;
         let (mut hits, mut misses, mut puts) = (0u64, 0u64, 0u64);
         let mut completion_ns = 0u64;
+        let mut churn_events = 0usize;
         for (i, op) in ops.iter().enumerate() {
             let injected = cfg.inject_gc.filter(|inj| inj.at_request == i);
             let before_ns = cost.charged().as_nanos() as u64;
@@ -503,6 +530,21 @@ pub fn run_lane(spec: LaneSpec, cfg: &TrafficConfig) -> Result<LaneResult, VmErr
                 // The stall charges inside the service measurement, so
                 // this request's latency carries the pause.
                 cost.charge_ns(inj.pause_ns);
+            }
+            if let Some(churn) = cfg.gc_churn {
+                let every = churn.every.max(1);
+                if i % every == every - 1 {
+                    // Real collector work inside the service window: the
+                    // pause lands in this request's latency, and the
+                    // gc.* telemetry lands in this request's window.
+                    ctx.alloc_garbage(churn.garbage_bytes, 1024);
+                    churn_events += 1;
+                    if churn_events % 4 == 0 {
+                        ctx.collect_garbage();
+                    } else {
+                        ctx.collect_garbage_minor();
+                    }
+                }
             }
             let service_ns = (cost.charged().as_nanos() as u64).saturating_sub(before_ns);
             // Open-loop accounting on the virtual arrival timeline.

@@ -8,13 +8,25 @@
 //! bound for arbitrary spaces and draws.
 
 use experiments::traffic::{
-    arrival_schedule, lanes, op_schedule, run_lane, TrafficConfig, ZipfSampler,
+    arrival_schedule, lanes, op_schedule, run_lane, GcChurn, TrafficConfig, ZipfSampler,
 };
 use proptest::prelude::*;
+use runtime_sim::heap::CollectorKind;
 use specjvm::montecarlo::Lcg;
+use telemetry::{Counter, Gauge};
 
 fn tiny() -> TrafficConfig {
     TrafficConfig { requests: 120, key_space: 64, ..TrafficConfig::quick() }
+}
+
+/// A tiny run with managed-heap churn riding on the request stream, so
+/// the collector actually runs during the lane.
+fn churny(collector: CollectorKind) -> TrafficConfig {
+    TrafficConfig {
+        collector: Some(collector),
+        gc_churn: Some(GcChurn { every: 10, garbage_bytes: 64 * 1024 }),
+        ..tiny()
+    }
 }
 
 #[test]
@@ -69,6 +81,74 @@ fn gated_lane_timeseries_exports_are_byte_identical_across_runs() {
         "seeded runs export byte-identical montsalvat.timeseries/v1 documents"
     );
     assert_eq!(a.to_prometheus(), b.to_prometheus(), "expositions are identical too");
+}
+
+#[test]
+fn gated_lane_is_byte_identical_per_collector_and_checksums_agree_across_them() {
+    let gated = lanes()[0];
+    let mut checksums = Vec::new();
+    for collector in [CollectorKind::Semispace, CollectorKind::Block] {
+        let cfg = churny(collector);
+        let a = run_lane(gated, &cfg).expect("first run");
+        let b = run_lane(gated, &cfg).expect("second run");
+        assert_eq!(
+            a.latencies_ns,
+            b.latencies_ns,
+            "{}: per-request latencies are bit-identical across runs",
+            collector.name()
+        );
+        assert_eq!(a.checksum, b.checksum, "{}: checksums identical", collector.name());
+        assert_eq!(
+            a.model_time_ns,
+            b.model_time_ns,
+            "{}: charged model time identical",
+            collector.name()
+        );
+        assert!(
+            a.snap.counter(Counter::GcCollections) > 0,
+            "{}: the churn must drive real collections",
+            collector.name()
+        );
+        checksums.push(a.checksum);
+    }
+    // The collector is invisible to the application: both lanes serve
+    // byte-identical responses.
+    assert_eq!(checksums[0], checksums[1], "response stream is collector-independent");
+}
+
+#[test]
+fn gc_gauges_and_counters_reconcile_with_flight_recorder_windows() {
+    let cfg = churny(CollectorKind::Block);
+    let lane = run_lane(lanes()[0], &cfg).expect("block-collector lane runs");
+    let series = lane.timeseries.as_ref().expect("flight recorder on by default");
+    assert!(lane.snap.counter(Counter::GcMinorCollections) > 0, "churn drives minors");
+    assert!(lane.snap.counter(Counter::GcMajorCollections) > 0, "churn escalates to majors");
+
+    // Counter deltas across windows must sum exactly to the lane
+    // aggregate, GC included.
+    for counter in
+        [Counter::GcCollections, Counter::GcMinorCollections, Counter::GcMajorCollections]
+    {
+        let window_sum: u64 = series.windows.iter().map(|w| w.delta.counter(counter)).sum();
+        assert_eq!(
+            window_sum,
+            lane.snap.counter(counter),
+            "window deltas must sum to the aggregate for {}",
+            counter.metric_name()
+        );
+    }
+    // Gauges report the level at window close, so the final window must
+    // agree with the end-of-run snapshot.
+    let last = series.windows.last().expect("run spans at least one window");
+    for gauge in [Gauge::GcBlocksLive, Gauge::GcBlocksFree] {
+        assert_eq!(
+            last.delta.gauge(gauge),
+            lane.snap.gauge(gauge),
+            "final window level must match the snapshot for {}",
+            gauge.metric_name()
+        );
+    }
+    assert!(lane.snap.gauge(Gauge::GcBlocksLive) > 0, "standing state keeps blocks live");
 }
 
 proptest! {

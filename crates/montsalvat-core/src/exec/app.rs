@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use rmi::gc_helper::GcHelper;
 use rmi::hash::HashScheme;
-use runtime_sim::heap::HeapConfig;
+use runtime_sim::heap::{CollectorKind, HeapConfig};
 use runtime_sim::value::Value;
 use sgx_sim::cost::{ClockMode, CostModel, CostParams};
 use sgx_sim::enclave::{Enclave, EnclaveConfig, TransitionStats};
@@ -83,6 +83,14 @@ pub struct AppConfig {
     /// [`ProviderKind::SimSgx`]; `Some(_)` pins the deployment mode
     /// regardless of the environment.
     pub provider: Option<ProviderKind>,
+    /// Which garbage collector each isolate runs. `None` consults
+    /// `MONTSALVAT_GC` at launch and falls back to
+    /// `heap_config.collector` (default semispace); `Some(_)` pins the
+    /// collector regardless of the environment — the same precedence
+    /// the provider detector uses. The block collector's geometry is
+    /// seeded from [`CostParams::gc_block_bytes`] so heap blocks and
+    /// EPC charging agree.
+    pub collector: Option<CollectorKind>,
 }
 
 impl Default for AppConfig {
@@ -101,7 +109,23 @@ impl Default for AppConfig {
             trace: None,
             serde_fastpath: None,
             provider: None,
+            collector: None,
         }
+    }
+}
+
+/// Resolves the heap configuration an app's isolates actually launch
+/// with: collector selection flows `AppConfig::collector` →
+/// `MONTSALVAT_GC` → `heap_config.collector`, and the block size is
+/// taken from the cost model (`CostParams::gc_block_bytes`) so the
+/// collector's blocks are the same granule the EPC charges per.
+fn effective_heap_config(config: &AppConfig) -> HeapConfig {
+    let collector =
+        config.collector.or_else(CollectorKind::from_env).unwrap_or(config.heap_config.collector);
+    HeapConfig {
+        collector,
+        block_bytes: config.cost_params.gc_block_bytes.max(1),
+        ..config.heap_config.clone()
     }
 }
 
@@ -371,11 +395,12 @@ impl PartitionedApp {
         };
         std::fs::create_dir_all(&workdir).map_err(|e| VmError::Io(e.to_string()))?;
 
+        let heap_config = effective_heap_config(&config);
         let trusted = World::new(
             Side::Trusted,
             shields,
             Arc::new(ClassIndex::from_classes(&trusted_image.classes)),
-            config.heap_config.clone(),
+            heap_config.clone(),
             config.hash_scheme,
             config.exec_model.clone(),
             workdir.join("trusted.scratch"),
@@ -385,7 +410,7 @@ impl PartitionedApp {
             Side::Untrusted,
             false,
             Arc::new(ClassIndex::from_classes(&untrusted_image.classes)),
-            config.heap_config.clone(),
+            heap_config,
             config.hash_scheme,
             config.exec_model.clone(),
             workdir.join("untrusted.scratch"),
@@ -397,8 +422,14 @@ impl PartitionedApp {
             let cost = Arc::clone(&cost);
             Arc::new(move || cost.now_ns())
         };
+        let charge_clock: Arc<dyn Fn() -> u64 + Send + Sync> = {
+            let cost = Arc::clone(&cost);
+            Arc::new(move || cost.charged().as_nanos() as u64)
+        };
         trusted.attach_tracer(Arc::clone(cost.tracer()), Arc::clone(&model_clock));
         untrusted.attach_tracer(Arc::clone(cost.tracer()), model_clock);
+        trusted.attach_charge_clock(Arc::clone(&charge_clock));
+        untrusted.attach_charge_clock(charge_clock);
         restore_image_heap(trusted_image, &trusted)?;
         restore_image_heap(untrusted_image, &untrusted)?;
 
@@ -643,7 +674,7 @@ impl SingleWorldApp {
             side,
             in_enclave,
             Arc::new(ClassIndex::from_classes(&image.classes)),
-            config.heap_config.clone(),
+            effective_heap_config(&config),
             config.hash_scheme,
             config.exec_model.clone(),
             workdir.join("app.scratch"),
@@ -653,6 +684,10 @@ impl SingleWorldApp {
         world.attach_tracer(Arc::clone(cost.tracer()), {
             let cost = Arc::clone(&cost);
             Arc::new(move || cost.now_ns())
+        });
+        world.attach_charge_clock({
+            let cost = Arc::clone(&cost);
+            Arc::new(move || cost.charged().as_nanos() as u64)
         });
         restore_image_heap(image, &world)?;
 

@@ -398,6 +398,13 @@ impl<'a> Ctx<'a> {
         self.world.isolate.with_heap(|h| h.collect())
     }
 
+    /// Forces a minor (nursery) cycle of this world's heap. Under the
+    /// semispace reference collector — which has no nursery — this
+    /// promotes to a full collection, so counters stay truthful.
+    pub fn collect_garbage_minor(&mut self) -> GcOutcome {
+        self.world.isolate.with_heap(|h| h.collect_minor())
+    }
+
     /// Escape hatch: exclusive access to this world's heap. References
     /// created here must be rooted by the caller (e.g. via frames).
     pub fn with_heap<R>(&mut self, f: impl FnOnce(&mut Heap) -> R) -> R {

@@ -287,6 +287,29 @@ impl HeapObserver for EnclaveHeapCharger {
     fn on_free(&self, bytes: u64) {
         self.enclave.free_heap(bytes);
     }
+
+    // Block-collector hooks: residency moves per block while object
+    // writes and GC work are pure traffic (see docs/GC.md).
+
+    fn on_block_commit(&self, bytes: u64) {
+        let _ = self.enclave.alloc_heap(bytes);
+    }
+
+    fn on_block_alloc(&self, bytes: u64) {
+        self.enclave.charge_heap_traffic(bytes);
+    }
+
+    fn on_block_release(&self, bytes: u64) {
+        self.enclave.free_heap(bytes);
+    }
+
+    fn on_gc_mark(&self, objects: u64) {
+        self.enclave.charge_gc_mark(objects);
+    }
+
+    fn on_gc_blocks_touched(&self, blocks: u64, block_bytes: u64) {
+        self.enclave.charge_gc_blocks(blocks, block_bytes);
+    }
 }
 
 /// One runtime of a (possibly partitioned) application.
@@ -369,6 +392,14 @@ impl World {
     ) {
         let lane = self.side.lane();
         self.isolate.with_heap(|h| h.set_tracer(Arc::clone(&tracer), lane, model_clock));
+    }
+
+    /// Installs the deterministic charge clock on this world's heap so
+    /// GC pauses are also recorded in model time (`gc.pause_model_ns`);
+    /// typically `move || cost.charged().as_nanos() as u64`. Called once
+    /// at application launch, right after [`World::attach_tracer`].
+    pub fn attach_charge_clock(&self, clock: Arc<dyn Fn() -> u64 + Send + Sync>) {
+        self.isolate.with_heap(|h| h.set_charge_clock(clock));
     }
 
     /// Reads a class by name, as a runtime error if missing.

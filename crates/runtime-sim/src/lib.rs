@@ -7,8 +7,9 @@
 //!
 //! - [`value`] — managed [`Value`]s and generational
 //!   object handles ([`ObjId`]);
-//! - [`heap`] — the stop-and-copy collector with weak references and a
-//!   [`HeapObserver`] hook that lets the enclave
+//! - [`heap`] — pluggable collectors (the paper's stop-and-copy
+//!   semispace plus a segmented generational block heap) with weak
+//!   references and a [`HeapObserver`] hook that lets the enclave
 //!   simulator charge MEE/EPC costs for heap traffic;
 //! - [`isolate`] — independently collected heaps, one per runtime;
 //! - [`image`] — heap snapshots carried from build time to run time.
@@ -32,12 +33,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 pub mod heap;
 pub mod image;
 pub mod isolate;
 pub mod value;
 
-pub use heap::{GcOutcome, Heap, HeapConfig, HeapObserver, HeapStats, OutOfMemory, WeakRef};
+pub use heap::{
+    BlockStats, CollectorKind, GcOutcome, Heap, HeapConfig, HeapObserver, HeapStats, OutOfMemory,
+    WeakRef,
+};
 pub use image::ImageHeap;
 pub use isolate::Isolate;
 pub use value::{ClassId, ObjId, Value};

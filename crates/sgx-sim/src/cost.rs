@@ -109,6 +109,18 @@ pub struct CostParams {
     /// (transition + relay), so a fallback is always strictly more
     /// expensive than a plain classic call.
     pub switchless_fallback_ns: u64,
+    /// Heap-block granule of the segmented (block) collector, in
+    /// bytes. EPC residency and GC paging are charged per block of
+    /// this size touched, instead of per semispace flip; applications
+    /// propagate it into `HeapConfig::block_bytes` at launch (see
+    /// `docs/GC.md`).
+    pub gc_block_bytes: u64,
+    /// Tracing cost per object marked by a collection (header read,
+    /// pointer chase, mark-bit write — through the MEE when
+    /// in-enclave). Charged by the block collector, whose mark phase
+    /// does not copy; the semispace copy already folds tracing into
+    /// `mee_gc_ns_per_byte`.
+    pub gc_mark_ns_per_obj: f64,
 }
 
 impl CostParams {
@@ -132,6 +144,8 @@ impl CostParams {
             switchless_call_ns: 800,
             switchless_wake_ns: 1_500,
             switchless_fallback_ns: 200,
+            gc_block_bytes: 32 * 1024,
+            gc_mark_ns_per_obj: 25.0,
         }
     }
 
@@ -149,7 +163,9 @@ impl CostParams {
     /// `MONTSALVAT_EPC_FAULT_NS`, `MONTSALVAT_EPC_PAGE_BYTES`,
     /// `MONTSALVAT_SWITCHLESS_CALL_NS`,
     /// `MONTSALVAT_SWITCHLESS_WAKE_NS`,
-    /// `MONTSALVAT_SWITCHLESS_FALLBACK_NS` — documented field-by-field in
+    /// `MONTSALVAT_SWITCHLESS_FALLBACK_NS`,
+    /// `MONTSALVAT_GC_BLOCK_BYTES`,
+    /// `MONTSALVAT_GC_MARK_NS_PER_OBJ` — documented field-by-field in
     /// `docs/COST_MODEL.md`. Unset or unparseable variables keep the
     /// paper default, so with a clean environment this equals
     /// [`CostParams::paper_defaults`].
@@ -182,6 +198,8 @@ impl CostParams {
                 "MONTSALVAT_SWITCHLESS_FALLBACK_NS",
                 d.switchless_fallback_ns,
             ),
+            gc_block_bytes: get("MONTSALVAT_GC_BLOCK_BYTES", d.gc_block_bytes),
+            gc_mark_ns_per_obj: get("MONTSALVAT_GC_MARK_NS_PER_OBJ", d.gc_mark_ns_per_obj),
         }
     }
 

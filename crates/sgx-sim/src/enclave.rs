@@ -402,6 +402,28 @@ impl Enclave {
         self.charge_traffic_at(bytes, self.cost.params().mee_gc_ns_per_byte);
     }
 
+    /// Charges tracing work for `objects` marked by a collection
+    /// (`gc_mark_ns_per_obj` each). The block collector's mark phase
+    /// reads headers and chases pointers without copying, so it pays
+    /// this per-object rate instead of the per-byte copy rate.
+    pub fn charge_gc_mark(&self, objects: u64) {
+        let ns = (objects as f64 * self.cost.params().gc_mark_ns_per_obj) as u64;
+        self.cost.charge_ns(ns);
+    }
+
+    /// Charges EPC paging for GC work that touched `blocks` heap blocks
+    /// of `block_bytes` each — the segmented collector's per-block
+    /// residency charge, replacing the semispace model's whole-live-set
+    /// touch (see `docs/GC.md`). MEE traffic is *not* charged here;
+    /// evacuated bytes pay [`Enclave::charge_gc_copy`] separately.
+    pub fn charge_gc_blocks(&self, blocks: u64, block_bytes: u64) {
+        let params = self.cost.params();
+        let charge = self.epc.lock().touch_blocks(blocks, block_bytes, params);
+        self.cost.recorder().add(Counter::EpcFaults, charge.faults);
+        self.cost.charge_ns(charge.ns);
+        self.trace_aex(charge.faults);
+    }
+
     fn charge_traffic_at(&self, bytes: u64, ns_per_byte: f64) {
         let recorder = self.cost.recorder();
         recorder.add(Counter::MeeBytes, bytes);

@@ -94,6 +94,30 @@ impl EpcState {
         self.faults += faults;
         EpcCharge { ns: faults * params.epc_fault_ns, faults }
     }
+
+    /// Charges for GC work that touched `blocks` heap blocks of
+    /// `block_bytes` each (the segmented collector's marking and
+    /// evacuation granule; see `docs/GC.md`). Per-block accounting:
+    /// each touched block contributes its own page count, rounded up
+    /// per block, and the same over-commit miss ratio as
+    /// [`EpcState::touch`] decides how many of those pages swap. Free
+    /// while the enclave fits the usable EPC, like all touch traffic.
+    pub fn touch_blocks(
+        &mut self,
+        blocks: u64,
+        block_bytes: u64,
+        params: &CostParams,
+    ) -> EpcCharge {
+        if !self.over_committed(params) || blocks == 0 || block_bytes == 0 {
+            return EpcCharge::default();
+        }
+        let over = self.resident_bytes - params.epc_usable_bytes;
+        let miss_ratio = over as f64 / self.resident_bytes as f64;
+        let pages_per_block = block_bytes.div_ceil(params.epc_page_bytes.max(1));
+        let faults = (blocks as f64 * pages_per_block as f64 * miss_ratio).ceil() as u64;
+        self.faults += faults;
+        EpcCharge { ns: faults * params.epc_fault_ns, faults }
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +175,40 @@ mod tests {
         assert!(c.faults > 0);
         // Miss ratio is 1/3, ~74 pages touched -> ~25 faults.
         assert!((20..=30).contains(&c.faults), "faults {}", c.faults);
+    }
+
+    #[test]
+    fn touch_blocks_charges_per_block_when_over_committed() {
+        let p = params();
+        let mut e = EpcState::new();
+        e.grow(512 * 1024, &p);
+        assert_eq!(e.touch_blocks(16, 32 * 1024, &p), EpcCharge::default(), "fits EPC: free");
+        e.grow(1024 * 1024, &p); // 1.5 MiB resident vs 1 MiB usable
+        let c = e.touch_blocks(16, 32 * 1024, &p);
+        // 8 pages per 32 KiB block, miss ratio 1/3 -> ~43 faults.
+        assert!((40..=48).contains(&c.faults), "faults {}", c.faults);
+        assert_eq!(c.ns, c.faults * p.epc_fault_ns);
+        // Touching the same volume as one flat range charges the same
+        // order: per-block rounding can only add pages, never remove.
+        let mut flat = EpcState::new();
+        flat.grow(1536 * 1024, &p);
+        let f = flat.touch(16 * 32 * 1024, &p);
+        assert!(c.faults >= f.faults, "block rounding is conservative");
+    }
+
+    #[test]
+    fn touch_blocks_rounds_pages_up_per_block() {
+        let p = params();
+        let mut e = EpcState::new();
+        e.grow(2 * 1024 * 1024, &p);
+        // A 100-byte "block" still costs one page per block touched.
+        let c = e.touch_blocks(10, 100, &p);
+        let flat = {
+            let mut s = EpcState::new();
+            s.grow(2 * 1024 * 1024, &p);
+            s.touch(1000, &p)
+        };
+        assert!(c.faults > flat.faults, "per-block rounding charges each block's page");
     }
 
     #[test]

@@ -117,6 +117,13 @@ metric_enum! {
         EdlDispatches => ("sgx.edl_dispatches", "calls"),
         /// Stop-and-copy collections completed.
         GcCollections => ("gc.collections", "collections"),
+        /// Minor (nursery-evacuation) cycles of the generational block
+        /// heap. Semispace never records these; `gc.collections` always
+        /// equals minor + major.
+        GcMinorCollections => ("gc.minor_collections", "collections"),
+        /// Major (full-trace) collections. Every semispace collection
+        /// is major.
+        GcMajorCollections => ("gc.major_collections", "collections"),
         /// Bytes evacuated by the copying collector.
         GcBytesCopied => ("gc.bytes_copied", "bytes"),
         /// Bytes reclaimed from dead objects.
@@ -234,6 +241,14 @@ metric_enum! {
         /// (last-value; the per-window level behind
         /// [`SwitchlessQueueDepthPeak`](Gauge::SwitchlessQueueDepthPeak)).
         SwitchlessQueueDepth => ("rmi.switchless_queue_depth", "jobs"),
+        /// Blocks of the segmented heap holding at least one live
+        /// object, sampled after each collection (last-value; block
+        /// collector only).
+        GcBlocksLive => ("gc.blocks_live", "blocks"),
+        /// Committed-but-empty blocks cached on the free-block list,
+        /// sampled after each collection (last-value; block collector
+        /// only).
+        GcBlocksFree => ("gc.blocks_free", "blocks"),
     }
 }
 
@@ -259,6 +274,17 @@ metric_enum! {
         CrossingBytes => ("sgx.crossing_bytes", "bytes"),
         /// Wall-clock nanoseconds per stop-and-copy collection.
         GcPauseNs => ("gc.pause_ns", "wall_ns"),
+        /// Wall-clock nanoseconds per *minor* (nursery) cycle — the
+        /// minor split of [`GcPauseNs`](Hist::GcPauseNs).
+        GcMinorPauseNs => ("gc.minor_pause_ns", "wall_ns"),
+        /// Wall-clock nanoseconds per *major* (full) collection — the
+        /// major split of [`GcPauseNs`](Hist::GcPauseNs).
+        GcMajorPauseNs => ("gc.major_pause_ns", "wall_ns"),
+        /// Charged-clock nanoseconds per collection (the model cost of
+        /// the pause: MEE copy traffic, marking work, EPC paging).
+        /// Recorded only when the heap owner lends a charge clock
+        /// (applications do); deterministic under `ClockMode::Virtual`.
+        GcPauseModelNs => ("gc.pause_model_ns", "model_ns"),
         /// Jobs served per switchless worker wakeup (batch drain size).
         SwitchlessBatchJobs => ("rmi.switchless_batch_jobs", "jobs"),
         /// Model nanoseconds charged per classic (v1) payload encode.
