@@ -225,8 +225,12 @@ pub fn init_tracing_from_args() -> bool {
 pub fn maybe_export_trace() {
     let Some(path) = trace_out_from_args() else { return };
     let tracer = telemetry::trace::Tracer::global();
-    let rmi_calls = telemetry::aggregate().counter(telemetry::Counter::RmiCalls);
-    let json = tracer.to_chrome_json(&[("rmi_calls", rmi_calls)]);
+    let aggregate = telemetry::aggregate();
+    let json = tracer.to_chrome_json(&[
+        ("rmi_calls", aggregate.counter(telemetry::Counter::RmiCalls)),
+        ("sched_steals", aggregate.counter(telemetry::Counter::SchedSteals)),
+        ("sched_timeouts", aggregate.counter(telemetry::Counter::SchedTimeouts)),
+    ]);
     match std::fs::write(&path, json) {
         Ok(()) => println!(
             "trace ({schema}): {p} — {n} events, {d} dropped; load in Perfetto or run \

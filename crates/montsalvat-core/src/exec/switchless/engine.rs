@@ -1,12 +1,4 @@
-//! Adaptive switchless (transition-less) RMI calls — the paper's first
-//! future-work item (§7, after Tian et al., SysTEX'18).
-//!
-//! A classic crossing pays the full EENTER/EEXIT transition plus relay
-//! software on *every* call. In the switchless design, each runtime
-//! keeps a pool of resident worker threads; a caller posts its request
-//! to a shared mailbox and the opposite side's worker serves it without
-//! any hardware transition — the cost drops to a cache-line hand-off
-//! plus the marshalling itself.
+//! The thread-per-worker switchless engine (PR 2's adaptive pool).
 //!
 //! This module implements the *adaptive* engine modeled on the Intel
 //! SGX switchless library:
@@ -48,160 +40,23 @@
 //! [`CostParams::switchless_wake_ns`]: sgx_sim::cost::CostParams::switchless_wake_ns
 //! [`CostParams::switchless_fallback_ns`]: sgx_sim::cost::CostParams::switchless_fallback_ns
 
-pub mod tuner;
-
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use rmi::hash::ProxyHash;
 use sgx_sim::cost::CostModel;
-use telemetry::{AtomicHistogram, HistogramSnapshot};
+use telemetry::AtomicHistogram;
 
+use super::tuner::{Decision, Observation, WorkerAction};
+use super::{
+    PostOutcome, ServeFn, SideStats, SwitchlessConfig, SwitchlessJob, SwitchlessStats, TunerRuntime,
+};
 use crate::annotation::Side;
 use crate::error::VmError;
 use crate::exec::ctx::WireMsg;
-use tuner::{Decision, Observation, Tuner, TunerConfig, WorkerAction};
-
-/// Configuration of the adaptive switchless call engine.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SwitchlessConfig {
-    /// Resident workers each side keeps even when idle (≥ 1).
-    pub min_workers: usize,
-    /// Upper bound miss-driven scaling may grow a side's pool to
-    /// (raised to `min_workers` if set lower).
-    pub max_workers: usize,
-    /// Mailbox slots per side; a caller finding all slots taken falls
-    /// back to a classic crossing (≥ 1).
-    pub mailbox_capacity: usize,
-    /// Most queued requests one worker wakeup drains as a single
-    /// batch frame (1 disables batching).
-    pub max_batch: usize,
-    /// Misses (posts that found no idle worker or a full mailbox)
-    /// accumulated before the engine spawns another worker.
-    pub scale_up_misses: u64,
-    /// How long an idle worker parks between mailbox polls; a worker
-    /// idle past this retires if the pool is above `min_workers`.
-    pub idle_park: Duration,
-    /// Trace-driven feedback controller; `None` (the default) keeps
-    /// PR 2's miss-counter engine as the only scaling mechanism.
-    pub autotune: Option<TunerConfig>,
-}
-
-impl Default for SwitchlessConfig {
-    /// The adaptive defaults: scale between 1 and 4 workers per side,
-    /// a 16-slot mailbox, 4-deep batch drain.
-    fn default() -> Self {
-        SwitchlessConfig {
-            min_workers: 1,
-            max_workers: 4,
-            mailbox_capacity: 16,
-            max_batch: 4,
-            scale_up_misses: 4,
-            idle_park: Duration::from_millis(20),
-            autotune: None,
-        }
-    }
-}
-
-impl SwitchlessConfig {
-    /// A fixed pool of `workers` per side: no adaptive scaling, the
-    /// pre-adaptive engine's shape (used as the ablation baseline).
-    pub fn fixed(workers: usize) -> Self {
-        let workers = workers.max(1);
-        SwitchlessConfig { min_workers: workers, max_workers: workers, ..Self::default() }
-    }
-
-    /// The adaptive defaults with the trace-driven tuner attached
-    /// (default [`TunerConfig`]).
-    pub fn autotuned() -> Self {
-        SwitchlessConfig { autotune: Some(TunerConfig::default()), ..Self::default() }
-    }
-
-    /// Applies the `MONTSALVAT_AUTOTUNE` environment override: `1`
-    /// (or `true`/`on`) attaches the default tuner if none is
-    /// configured, `0` (or `false`/`off`) detaches any configured
-    /// tuner; other values leave the config alone.
-    pub fn with_env_autotune(mut self) -> Self {
-        match std::env::var("MONTSALVAT_AUTOTUNE").ok().as_deref() {
-            Some("1") | Some("true") | Some("on") if self.autotune.is_none() => {
-                self.autotune = Some(TunerConfig::default());
-            }
-            Some("0") | Some("false") | Some("off") => self.autotune = None,
-            _ => {}
-        }
-        self
-    }
-
-    /// Clamps the invariants the engine relies on: at least one
-    /// worker, `max_workers ≥ min_workers`, a real mailbox slot and a
-    /// positive batch depth.
-    pub(crate) fn normalized(&self) -> Self {
-        let min_workers = self.min_workers.max(1);
-        SwitchlessConfig {
-            min_workers,
-            max_workers: self.max_workers.max(min_workers),
-            mailbox_capacity: self.mailbox_capacity.max(1),
-            max_batch: self.max_batch.max(1),
-            scale_up_misses: self.scale_up_misses.max(1),
-            idle_park: self.idle_park.max(Duration::from_millis(1)),
-            autotune: self.autotune.as_ref().map(TunerConfig::normalized),
-        }
-    }
-}
-
-/// The relay dispatcher a pool serves jobs with: bound to the
-/// application, it executes `class.relay` on the given side.
-pub(crate) type ServeFn = Arc<
-    dyn Fn(Side, &str, &str, Option<ProxyHash>, &WireMsg) -> Result<WireMsg, VmError> + Send + Sync,
->;
-
-/// One posted request: serve `class.relay` with `msg` in the worker's
-/// world, reply on `reply`.
-pub(crate) struct SwitchlessJob {
-    pub class_name: String,
-    pub relay: String,
-    pub recv_hash: Option<ProxyHash>,
-    pub msg: WireMsg,
-    pub reply: Sender<Result<WireMsg, VmError>>,
-    /// `(model_ns, wall_ns)` at post time when tracing was on, so the
-    /// serving worker can attribute queue wait separately from
-    /// execution; `None` when the post was untraced.
-    pub posted: Option<(u64, u64)>,
-}
-
-/// Outcome of posting a call to the engine.
-pub(crate) enum PostOutcome {
-    /// A worker served the call; this is the relay's reply.
-    Served(Result<WireMsg, VmError>),
-    /// The mailbox was full — the caller must perform a classic
-    /// crossing (the probe charge has already been paid).
-    Fallback,
-}
-
-/// Live worker/queue readings for one side of the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SideStats {
-    /// Resident workers (parked + serving).
-    pub workers: usize,
-    /// Workers currently parked on the mailbox.
-    pub idle: usize,
-    /// Posted jobs not yet picked up by a worker.
-    pub queued: usize,
-}
-
-/// Live readings of both sides of the engine (see
-/// [`PartitionedApp::switchless_stats`](crate::exec::app::PartitionedApp::switchless_stats)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SwitchlessStats {
-    /// The enclave-side pool.
-    pub trusted: SideStats,
-    /// The host-side pool.
-    pub untrusted: SideStats,
-}
 
 /// Worker-shared state of one side's pool.
 struct SideState {
@@ -236,30 +91,6 @@ struct SideState {
     batch_hist: AtomicHistogram,
     /// Posts since the tuner's last tick on this side.
     posts_since_tick: AtomicU64,
-}
-
-/// Previous-snapshot cursors one tuner tick diffs against.
-#[derive(Default)]
-struct TunerWindow {
-    wait_prev: HistogramSnapshot,
-    batch_prev: HistogramSnapshot,
-    fallbacks_prev: u64,
-}
-
-/// The live tuner: the pure controller plus per-side window cursors.
-struct TunerRuntime {
-    tuner: Tuner,
-    trusted_window: Mutex<TunerWindow>,
-    untrusted_window: Mutex<TunerWindow>,
-}
-
-impl TunerRuntime {
-    fn window(&self, side: Side) -> &Mutex<TunerWindow> {
-        match side {
-            Side::Trusted => &self.trusted_window,
-            Side::Untrusted => &self.untrusted_window,
-        }
-    }
 }
 
 /// The per-application switchless machinery: one bounded mailbox per
@@ -315,16 +146,7 @@ impl SwitchlessPool {
                 posts_since_tick: AtomicU64::new(0),
             })
         };
-        let tuner = config.autotune.as_ref().map(|tc| {
-            // The yardstick queue waits are judged against: one classic
-            // crossing (hardware transition + relay software).
-            let crossing = cost.params().transition_ns() + cost.params().relay_overhead_ns;
-            TunerRuntime {
-                tuner: Tuner::new(tc.clone(), crossing),
-                trusted_window: Mutex::new(TunerWindow::default()),
-                untrusted_window: Mutex::new(TunerWindow::default()),
-            }
-        });
+        let tuner = TunerRuntime::from_config(&config, &cost);
         cost.recorder().gauge_set(telemetry::Gauge::SwitchlessTargetBatch, config.max_batch as u64);
         let pool = SwitchlessPool {
             config,
@@ -733,6 +555,8 @@ fn try_retire(state: &SideState, min: usize) -> bool {
 
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
     use super::*;
     use sgx_sim::cost::{ClockMode, CostParams};
 
@@ -756,51 +580,6 @@ mod tests {
 
     fn model() -> Arc<CostModel> {
         Arc::new(CostModel::new(CostParams::paper_defaults(), ClockMode::Virtual))
-    }
-
-    #[test]
-    fn normalization_enforces_invariants() {
-        let cfg = SwitchlessConfig {
-            min_workers: 0,
-            max_workers: 0,
-            mailbox_capacity: 0,
-            max_batch: 0,
-            scale_up_misses: 0,
-            idle_park: Duration::ZERO,
-            autotune: Some(TunerConfig {
-                interval_calls: 0,
-                up_wait_pct: 0,
-                down_wait_pct: 99,
-                batch_limit: 0,
-                min_samples: 0,
-            }),
-        }
-        .normalized();
-        assert_eq!(cfg.min_workers, 1);
-        assert_eq!(cfg.max_workers, 1);
-        assert_eq!(cfg.mailbox_capacity, 1);
-        assert_eq!(cfg.max_batch, 1);
-        assert_eq!(cfg.scale_up_misses, 1);
-        assert!(cfg.idle_park > Duration::ZERO);
-        let tc = cfg.autotune.expect("autotune survives normalization");
-        assert_eq!(tc.interval_calls, 1);
-        assert_eq!(tc.batch_limit, 1);
-        assert_eq!(tc.min_samples, 1);
-        assert!(tc.down_wait_pct < tc.up_wait_pct, "shrink threshold below grow threshold");
-    }
-
-    #[test]
-    fn autotuned_config_attaches_the_default_tuner() {
-        let cfg = SwitchlessConfig::autotuned();
-        assert_eq!(cfg.autotune, Some(TunerConfig::default()));
-        assert_eq!(SwitchlessConfig::default().autotune, None);
-        assert_eq!(SwitchlessConfig::fixed(2).autotune, None);
-    }
-
-    #[test]
-    fn fixed_config_pins_both_bounds() {
-        let cfg = SwitchlessConfig::fixed(3);
-        assert_eq!((cfg.min_workers, cfg.max_workers), (3, 3));
     }
 
     #[test]

@@ -1,0 +1,454 @@
+//! Adaptive switchless (transition-less) RMI calls — the paper's first
+//! future-work item (§7, after Tian et al., SysTEX'18).
+//!
+//! A classic crossing pays the full EENTER/EEXIT transition plus relay
+//! software on *every* call. In the switchless design, each runtime
+//! keeps resident serving capacity; a caller posts its request and the
+//! opposite side serves it without any hardware transition — the cost
+//! drops to a cache-line hand-off plus the marshalling itself.
+//!
+//! Two serving engines implement the mechanism behind one posting
+//! interface (`SwitchlessEngine`):
+//!
+//! - **`engine` — the thread-per-worker pool** (PR 2's adaptive
+//!   engine, the default): per-side worker pools with bounded
+//!   mailboxes, classic fallback on overflow, miss-driven scaling,
+//!   small-batch draining and the optional trace-driven [`tuner`].
+//!   Each posted crossing occupies one OS worker thread until its
+//!   reply is sent — including any time that worker spends blocked on
+//!   a *nested* crossing.
+//! - **`scheduler` — the work-stealing task scheduler**
+//!   ([`SwitchlessConfig::scheduler`] or `MONTSALVAT_SCHEDULER=1`):
+//!   posted crossings become suspendable serve `task`s (explicit
+//!   state machine: decode → execute → encode → complete) queued on a
+//!   bounded shared injector; a small pool of executor threads drains
+//!   per-executor local deques first, steals from sibling deques
+//!   second and grabs injector batches last. An executor blocked on a
+//!   nested crossing *suspends* — it parks the task's state on its
+//!   stack and serves other tasks while it waits — so tens of
+//!   thousands of crossings can be in flight on a handful of threads.
+//!   A dedicated `timeout` worker sweeps overdue tasks into the
+//!   classic-fallback path, and a full injector rejects immediately
+//!   (backpressure) instead of blocking. The same [`tuner`] control
+//!   law drives executor-pool sizing and the steal-batch bound.
+//!
+//! Both engines preserve the accounting invariant the CI bench gates
+//! check: every posted call resolves as exactly one switchless hit
+//! (`rmi.switchless_calls`) or one classic fallback
+//! (`rmi.switchless_fallbacks`), so `rmi.calls == hits + fallbacks`.
+//! The ablation binaries `switchless_ablation` (pool vs classic) and
+//! `scheduler_ablation` (scheduler vs pool at ≥ 10k in-flight calls)
+//! compare them; `docs/SWITCHLESS.md` documents both designs.
+
+pub(crate) mod engine;
+pub(crate) mod scheduler;
+pub(crate) mod task;
+pub(crate) mod timeout;
+pub mod tuner;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use rmi::hash::ProxyHash;
+use sgx_sim::cost::CostModel;
+use telemetry::HistogramSnapshot;
+
+use crate::annotation::Side;
+use crate::error::VmError;
+use crate::exec::ctx::WireMsg;
+use tuner::{Tuner, TunerConfig};
+
+pub(crate) use engine::SwitchlessPool;
+pub(crate) use scheduler::Scheduler;
+
+/// Configuration of the switchless call machinery (both engines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchlessConfig {
+    /// Resident workers each side keeps even when idle (≥ 1).
+    pub min_workers: usize,
+    /// Upper bound miss-driven scaling may grow a side's pool to
+    /// (raised to `min_workers` if set lower).
+    pub max_workers: usize,
+    /// Mailbox slots per side; a caller finding all slots taken falls
+    /// back to a classic crossing (≥ 1).
+    pub mailbox_capacity: usize,
+    /// Most queued requests one worker wakeup drains as a single
+    /// batch frame (1 disables batching).
+    pub max_batch: usize,
+    /// Misses (posts that found no idle worker or a full mailbox)
+    /// accumulated before the engine spawns another worker.
+    pub scale_up_misses: u64,
+    /// How long an idle worker parks between mailbox polls; a worker
+    /// idle past this retires if the pool is above `min_workers`.
+    pub idle_park: Duration,
+    /// Trace-driven feedback controller; `None` (the default) keeps
+    /// PR 2's miss-counter engine as the only scaling mechanism.
+    pub autotune: Option<TunerConfig>,
+    /// Work-stealing task scheduler; `None` (the default) keeps the
+    /// thread-per-worker pool. See [`SchedulerConfig`].
+    pub scheduler: Option<SchedulerConfig>,
+}
+
+impl Default for SwitchlessConfig {
+    /// The adaptive defaults: scale between 1 and 4 workers per side,
+    /// a 16-slot mailbox, 4-deep batch drain.
+    fn default() -> Self {
+        SwitchlessConfig {
+            min_workers: 1,
+            max_workers: 4,
+            mailbox_capacity: 16,
+            max_batch: 4,
+            scale_up_misses: 4,
+            idle_park: Duration::from_millis(20),
+            autotune: None,
+            scheduler: None,
+        }
+    }
+}
+
+impl SwitchlessConfig {
+    /// A fixed pool of `workers` per side: no adaptive scaling, the
+    /// pre-adaptive engine's shape (used as the ablation baseline).
+    pub fn fixed(workers: usize) -> Self {
+        let workers = workers.max(1);
+        SwitchlessConfig { min_workers: workers, max_workers: workers, ..Self::default() }
+    }
+
+    /// The adaptive defaults with the trace-driven tuner attached
+    /// (default [`TunerConfig`]).
+    pub fn autotuned() -> Self {
+        SwitchlessConfig { autotune: Some(TunerConfig::default()), ..Self::default() }
+    }
+
+    /// The work-stealing task scheduler with default
+    /// [`SchedulerConfig`] bounds (`min_workers`/`max_workers` size
+    /// the executor pool).
+    pub fn scheduled() -> Self {
+        SwitchlessConfig { scheduler: Some(SchedulerConfig::default()), ..Self::default() }
+    }
+
+    /// Applies the `MONTSALVAT_AUTOTUNE` environment override: `1`
+    /// (or `true`/`on`) attaches the default tuner if none is
+    /// configured, `0` (or `false`/`off`) detaches any configured
+    /// tuner; other values leave the config alone.
+    pub fn with_env_autotune(mut self) -> Self {
+        match std::env::var("MONTSALVAT_AUTOTUNE").ok().as_deref() {
+            Some("1") | Some("true") | Some("on") if self.autotune.is_none() => {
+                self.autotune = Some(TunerConfig::default());
+            }
+            Some("0") | Some("false") | Some("off") => self.autotune = None,
+            _ => {}
+        }
+        self
+    }
+
+    /// Applies the `MONTSALVAT_SCHEDULER` environment override: `1`
+    /// (or `true`/`on`) attaches the default work-stealing scheduler
+    /// if none is configured, `0` (or `false`/`off`) detaches any
+    /// configured scheduler; other values leave the config alone.
+    pub fn with_env_scheduler(mut self) -> Self {
+        match std::env::var("MONTSALVAT_SCHEDULER").ok().as_deref() {
+            Some("1") | Some("true") | Some("on") if self.scheduler.is_none() => {
+                self.scheduler = Some(SchedulerConfig::default());
+            }
+            Some("0") | Some("false") | Some("off") => self.scheduler = None,
+            _ => {}
+        }
+        self
+    }
+
+    /// Clamps the invariants the engines rely on: at least one
+    /// worker, `max_workers ≥ min_workers`, a real mailbox slot and a
+    /// positive batch depth.
+    pub(crate) fn normalized(&self) -> Self {
+        let min_workers = self.min_workers.max(1);
+        SwitchlessConfig {
+            min_workers,
+            max_workers: self.max_workers.max(min_workers),
+            mailbox_capacity: self.mailbox_capacity.max(1),
+            max_batch: self.max_batch.max(1),
+            scale_up_misses: self.scale_up_misses.max(1),
+            idle_park: self.idle_park.max(Duration::from_millis(1)),
+            autotune: self.autotune.as_ref().map(TunerConfig::normalized),
+            scheduler: self.scheduler.as_ref().map(SchedulerConfig::normalized),
+        }
+    }
+}
+
+/// Bounds of the work-stealing task scheduler (the second engine; see
+/// the module docs and `docs/SWITCHLESS.md`). Executor-pool sizing
+/// comes from the surrounding [`SwitchlessConfig`]'s
+/// `min_workers`/`max_workers`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Most tasks queued per side (injector plus local deques) before
+    /// a post is rejected into the classic-fallback path. This is the
+    /// backpressure bound: a full scheduler *never* blocks a poster.
+    pub injector_capacity: usize,
+    /// Most tasks one executor grabs from the injector per visit; the
+    /// grabbed surplus lands on its local deque where siblings can
+    /// steal it. The tuner's `target_batch` retunes this at run time.
+    pub steal_batch: usize,
+    /// Wall-clock age past which a still-queued task is swept into the
+    /// classic-fallback path by the timeout worker.
+    pub task_timeout: Duration,
+}
+
+impl Default for SchedulerConfig {
+    /// Defaults sized for the open-loop traffic harness: a deep
+    /// injector (tens of thousands of in-flight tasks), small steal
+    /// batches, a generous sweep age.
+    fn default() -> Self {
+        SchedulerConfig {
+            injector_capacity: 16_384,
+            steal_batch: 4,
+            task_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Clamps the invariants the scheduler relies on: at least one
+    /// injector slot, a positive steal batch, a nonzero timeout.
+    pub(crate) fn normalized(&self) -> Self {
+        SchedulerConfig {
+            injector_capacity: self.injector_capacity.max(1),
+            steal_batch: self.steal_batch.max(1),
+            task_timeout: self.task_timeout.max(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// The relay dispatcher an engine serves posts with: bound to the
+/// application, it executes `class.relay` on the given side.
+pub(crate) type ServeFn = Arc<
+    dyn Fn(Side, &str, &str, Option<ProxyHash>, &WireMsg) -> Result<WireMsg, VmError> + Send + Sync,
+>;
+
+/// One posted request: serve `class.relay` with `msg` in the worker's
+/// world, reply on `reply`.
+pub(crate) struct SwitchlessJob {
+    pub class_name: String,
+    pub relay: String,
+    pub recv_hash: Option<ProxyHash>,
+    pub msg: WireMsg,
+    pub reply: Sender<Result<WireMsg, VmError>>,
+    /// `(model_ns, wall_ns)` at post time when tracing was on, so the
+    /// serving worker can attribute queue wait separately from
+    /// execution; `None` when the post was untraced.
+    pub posted: Option<(u64, u64)>,
+}
+
+/// Outcome of posting a call to an engine.
+pub(crate) enum PostOutcome {
+    /// A worker served the call; this is the relay's reply.
+    Served(Result<WireMsg, VmError>),
+    /// The engine could not serve the call (full mailbox/injector or a
+    /// swept timeout) — the caller must perform a classic crossing
+    /// (the probe charge has already been paid).
+    Fallback,
+}
+
+/// Live worker/queue readings for one side of an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SideStats {
+    /// Resident workers (parked + serving).
+    pub workers: usize,
+    /// Workers currently parked on the mailbox.
+    pub idle: usize,
+    /// Posted jobs not yet picked up by a worker.
+    pub queued: usize,
+}
+
+/// Live readings of both sides of an engine (see
+/// [`PartitionedApp::switchless_stats`](crate::exec::app::PartitionedApp::switchless_stats)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwitchlessStats {
+    /// The enclave-side pool.
+    pub trusted: SideStats,
+    /// The host-side pool.
+    pub untrusted: SideStats,
+}
+
+/// Previous-snapshot cursors one tuner tick diffs against.
+#[derive(Default)]
+pub(crate) struct TunerWindow {
+    pub(crate) wait_prev: HistogramSnapshot,
+    pub(crate) batch_prev: HistogramSnapshot,
+    pub(crate) fallbacks_prev: u64,
+}
+
+/// The live tuner: the pure controller plus per-side window cursors.
+pub(crate) struct TunerRuntime {
+    pub(crate) tuner: Tuner,
+    pub(crate) trusted_window: Mutex<TunerWindow>,
+    pub(crate) untrusted_window: Mutex<TunerWindow>,
+}
+
+impl TunerRuntime {
+    /// Builds the runtime when `config.autotune` is set, judging
+    /// queue waits against one classic crossing of `cost`'s params.
+    pub(crate) fn from_config(config: &SwitchlessConfig, cost: &CostModel) -> Option<TunerRuntime> {
+        config.autotune.as_ref().map(|tc| {
+            // The yardstick queue waits are judged against: one classic
+            // crossing (hardware transition + relay software).
+            let crossing = cost.params().transition_ns() + cost.params().relay_overhead_ns;
+            TunerRuntime {
+                tuner: Tuner::new(tc.clone(), crossing),
+                trusted_window: Mutex::new(TunerWindow::default()),
+                untrusted_window: Mutex::new(TunerWindow::default()),
+            }
+        })
+    }
+
+    pub(crate) fn window(&self, side: Side) -> &Mutex<TunerWindow> {
+        match side {
+            Side::Trusted => &self.trusted_window,
+            Side::Untrusted => &self.untrusted_window,
+        }
+    }
+}
+
+/// The serving engine an application launched: PR 2's thread-per-
+/// worker pool or the work-stealing task scheduler, behind one
+/// post/tune/stats/shutdown surface so `exec::ctx` and `exec::app`
+/// dispatch uniformly.
+#[derive(Clone, Debug)]
+pub(crate) enum SwitchlessEngine {
+    /// Thread-per-worker pool (the default).
+    Pool(Arc<SwitchlessPool>),
+    /// Work-stealing task scheduler.
+    Sched(Arc<Scheduler>),
+}
+
+impl SwitchlessEngine {
+    /// Launches the engine `config` selects: the scheduler when
+    /// [`SwitchlessConfig::scheduler`] is set, the pool otherwise.
+    pub(crate) fn launch(config: &SwitchlessConfig, serve: ServeFn, cost: Arc<CostModel>) -> Self {
+        if config.scheduler.is_some() {
+            SwitchlessEngine::Sched(Arc::new(Scheduler::spawn(config, serve, cost)))
+        } else {
+            SwitchlessEngine::Pool(Arc::new(SwitchlessPool::spawn(config, serve, cost)))
+        }
+    }
+
+    /// Posts a call to `side`. See [`SwitchlessPool::post`] /
+    /// [`Scheduler::post`].
+    pub(crate) fn post(
+        &self,
+        side: Side,
+        class_name: String,
+        relay: String,
+        recv_hash: Option<ProxyHash>,
+        msg: WireMsg,
+    ) -> Result<PostOutcome, VmError> {
+        match self {
+            SwitchlessEngine::Pool(p) => p.post(side, class_name, relay, recv_hash, msg),
+            SwitchlessEngine::Sched(s) => s.post(side, class_name, relay, recv_hash, msg),
+        }
+    }
+
+    /// One tuner bookkeeping step for a call that completed on `side`.
+    pub(crate) fn maybe_tune(&self, side: Side) {
+        match self {
+            SwitchlessEngine::Pool(p) => p.maybe_tune(side),
+            SwitchlessEngine::Sched(s) => s.maybe_tune(side),
+        }
+    }
+
+    /// Live worker/queue readings.
+    pub(crate) fn stats(&self) -> SwitchlessStats {
+        match self {
+            SwitchlessEngine::Pool(p) => p.stats(),
+            SwitchlessEngine::Sched(s) => s.stats(),
+        }
+    }
+
+    /// Stops the engine's threads if this is the last handle; a handle
+    /// still held elsewhere keeps the engine alive (matching the old
+    /// `Arc<SwitchlessPool>` take-and-unwrap shutdown).
+    pub(crate) fn shutdown(self) {
+        match self {
+            SwitchlessEngine::Pool(p) => {
+                if let Ok(pool) = Arc::try_unwrap(p) {
+                    pool.shutdown();
+                }
+            }
+            SwitchlessEngine::Sched(s) => {
+                if let Ok(sched) = Arc::try_unwrap(s) {
+                    sched.shutdown();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_enforces_invariants() {
+        let cfg = SwitchlessConfig {
+            min_workers: 0,
+            max_workers: 0,
+            mailbox_capacity: 0,
+            max_batch: 0,
+            scale_up_misses: 0,
+            idle_park: Duration::ZERO,
+            autotune: Some(TunerConfig {
+                interval_calls: 0,
+                up_wait_pct: 0,
+                down_wait_pct: 99,
+                batch_limit: 0,
+                min_samples: 0,
+            }),
+            scheduler: Some(SchedulerConfig {
+                injector_capacity: 0,
+                steal_batch: 0,
+                task_timeout: Duration::ZERO,
+            }),
+        }
+        .normalized();
+        assert_eq!(cfg.min_workers, 1);
+        assert_eq!(cfg.max_workers, 1);
+        assert_eq!(cfg.mailbox_capacity, 1);
+        assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.scale_up_misses, 1);
+        assert!(cfg.idle_park > Duration::ZERO);
+        let tc = cfg.autotune.expect("autotune survives normalization");
+        assert_eq!(tc.interval_calls, 1);
+        assert_eq!(tc.batch_limit, 1);
+        assert_eq!(tc.min_samples, 1);
+        assert!(tc.down_wait_pct < tc.up_wait_pct, "shrink threshold below grow threshold");
+        let sc = cfg.scheduler.expect("scheduler survives normalization");
+        assert_eq!(sc.injector_capacity, 1);
+        assert_eq!(sc.steal_batch, 1);
+        assert!(sc.task_timeout > Duration::ZERO);
+    }
+
+    #[test]
+    fn autotuned_config_attaches_the_default_tuner() {
+        let cfg = SwitchlessConfig::autotuned();
+        assert_eq!(cfg.autotune, Some(TunerConfig::default()));
+        assert_eq!(SwitchlessConfig::default().autotune, None);
+        assert_eq!(SwitchlessConfig::fixed(2).autotune, None);
+    }
+
+    #[test]
+    fn fixed_config_pins_both_bounds() {
+        let cfg = SwitchlessConfig::fixed(3);
+        assert_eq!((cfg.min_workers, cfg.max_workers), (3, 3));
+    }
+
+    #[test]
+    fn scheduled_config_attaches_the_default_scheduler() {
+        let cfg = SwitchlessConfig::scheduled();
+        assert_eq!(cfg.scheduler, Some(SchedulerConfig::default()));
+        assert_eq!(SwitchlessConfig::default().scheduler, None);
+        assert_eq!(SwitchlessConfig::fixed(2).scheduler, None);
+        assert_eq!(SwitchlessConfig::autotuned().scheduler, None);
+    }
+}

@@ -1,0 +1,1119 @@
+//! The work-stealing task scheduler: tens of thousands of in-flight
+//! crossings on a handful of executor threads.
+//!
+//! PR 2's pool (the [`engine`](super::engine) module) holds one OS
+//! worker thread hostage for the full life of every crossing it
+//! serves — including time the relay body spends *blocked on a nested
+//! crossing* — so useful concurrency is capped at `max_workers`. This
+//! engine decouples tasks from threads:
+//!
+//! - **Posted crossings become [`ServeTask`]s** on a per-side bounded
+//!   *injector* queue. A full injector rejects the post into the
+//!   classic-fallback path immediately (backpressure — a poster is
+//!   never blocked on admission).
+//! - **Executors** (sized by `min_workers..=max_workers`, like the
+//!   pool) each own a local deque. Work is found in strict order:
+//!   own deque (LIFO, locality) → steal a sibling's oldest task
+//!   (FIFO, charged [`CostParams::sched_steal_ns`]) → grab a batch
+//!   from the injector, serving the first task and parking the
+//!   surplus on the local deque where siblings can steal it.
+//! - **Suspension**: when a task's body performs a nested crossing,
+//!   the posting executor does not block — it parks the task's state
+//!   on its stack (charged [`CostParams::sched_suspend_ns`], counted
+//!   `rmi.sched_suspends`) and serves other tasks until the nested
+//!   reply arrives (charged [`CostParams::sched_resume_ns`]). This is
+//!   help-first stealing: the thread is returned to the pool even
+//!   though the task is not done.
+//! - **Timeouts**: the dedicated [`timeout`](super::timeout) worker
+//!   sweeps tasks still `QUEUED` past
+//!   [`SchedulerConfig::task_timeout`] into the classic-fallback path
+//!   (counted `rmi.sched_timeouts`), so a stalled executor pool can
+//!   never strand a poster.
+//! - **Tuning**: the same [`tuner`](super::tuner) control law that
+//!   sizes the pool's workers sizes the executor pool and retunes the
+//!   injector grab bound (`target_batch` → the steal batch).
+//!
+//! Every post resolves exactly once — served hit or classic fallback —
+//! enforced by the task claim protocol (see [`task`](super::task)),
+//! which the in-module proptest exercises under arbitrary
+//! post/steal/suspend/timeout interleavings.
+//!
+//! [`CostParams::sched_steal_ns`]: sgx_sim::cost::CostParams::sched_steal_ns
+//! [`CostParams::sched_suspend_ns`]: sgx_sim::cost::CostParams::sched_suspend_ns
+//! [`CostParams::sched_resume_ns`]: sgx_sim::cost::CostParams::sched_resume_ns
+//! [`SchedulerConfig::task_timeout`]: super::SchedulerConfig::task_timeout
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rmi::hash::ProxyHash;
+use sgx_sim::cost::CostModel;
+use telemetry::AtomicHistogram;
+
+use super::task::{with_current_task, ServeTask, TaskCompletion, TaskStage};
+use super::tuner::{Decision, Observation, WorkerAction};
+use super::{timeout, TunerRuntime};
+use super::{PostOutcome, SchedulerConfig, ServeFn, SideStats, SwitchlessConfig, SwitchlessStats};
+use crate::annotation::Side;
+use crate::error::VmError;
+use crate::exec::ctx::WireMsg;
+
+/// Most nested suspensions one executor stacks before it falls back
+/// to a plain blocking wait (bounds stack growth under deep help-first
+/// recursion).
+const MAX_HELP_DEPTH: usize = 64;
+
+/// One executor's stealable work queue. The owner pushes and pops at
+/// the back (LIFO, cache-warm); thieves take from the front (FIFO,
+/// oldest first).
+pub(crate) struct Slot {
+    pub(crate) deque: Mutex<VecDeque<Arc<ServeTask>>>,
+    /// Whether an executor thread currently owns this slot.
+    occupied: AtomicBool,
+}
+
+/// Executor-shared state of one side of the scheduler.
+pub(crate) struct SchedSide {
+    pub(crate) side: Side,
+    /// The shared injector: posts enter here, executors grab batches.
+    pub(crate) injector: Mutex<VecDeque<Arc<ServeTask>>>,
+    /// Per-executor local deques, one per potential executor.
+    pub(crate) slots: Vec<Slot>,
+    /// Wake tokens: one per post, so parked executors rouse promptly.
+    wake_tx: Sender<()>,
+    wake_rx: Receiver<()>,
+    /// Resident executors (`min_workers ≤ active ≤ max_workers`).
+    pub(crate) active: AtomicUsize,
+    /// Executors parked on (or about to poll) the wake channel.
+    pub(crate) idle: AtomicUsize,
+    /// Tasks posted and not yet claimed (injector + deques).
+    pub(crate) queued: AtomicUsize,
+    /// Tasks posted and not yet completed (served or swept).
+    pub(crate) inflight: AtomicUsize,
+    /// Misses accumulated since the last scale-up.
+    misses: AtomicU64,
+    /// Set by shutdown; parked executors exit at their next poll.
+    pub(crate) stop: AtomicBool,
+    /// Tuner-chosen executor target: the retirement floor.
+    tuner_target: AtomicUsize,
+    /// Tuner-chosen injector grab bound (starts at
+    /// [`SchedulerConfig::steal_batch`]).
+    steal_target: AtomicUsize,
+    /// Classic fallbacks on this side — rejects *and* sweeps
+    /// (windowed by the tuner).
+    pub(crate) fallbacks: AtomicU64,
+    /// Per-side task-wait distribution (model ns); same values as the
+    /// global `rmi.sched_task_wait_ns` histogram.
+    wait_hist: AtomicHistogram,
+    /// Per-side injector grab sizes.
+    batch_hist: AtomicHistogram,
+    /// Posts since the tuner's last tick on this side.
+    posts_since_tick: AtomicU64,
+    /// Timeout registry: `(wall deadline, task)` in post order. The
+    /// deadline is a constant offset from the post, so the deque is
+    /// deadline-sorted by construction.
+    pub(crate) timeouts: Mutex<VecDeque<(Instant, Weak<ServeTask>)>>,
+}
+
+impl SchedSide {
+    fn new(side: Side, config: &SwitchlessConfig, sched: &SchedulerConfig) -> SchedSide {
+        let (wake_tx, wake_rx) = crossbeam::channel::unbounded();
+        SchedSide {
+            side,
+            injector: Mutex::new(VecDeque::new()),
+            slots: (0..config.max_workers)
+                .map(|_| Slot {
+                    deque: Mutex::new(VecDeque::new()),
+                    occupied: AtomicBool::new(false),
+                })
+                .collect(),
+            wake_tx,
+            wake_rx,
+            active: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            misses: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            tuner_target: AtomicUsize::new(config.min_workers),
+            steal_target: AtomicUsize::new(sched.steal_batch),
+            fallbacks: AtomicU64::new(0),
+            wait_hist: AtomicHistogram::new(),
+            batch_hist: AtomicHistogram::new(),
+            posts_since_tick: AtomicU64::new(0),
+            timeouts: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Claims a free executor slot, or `None` when all are owned.
+    fn claim_slot(&self) -> Option<usize> {
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot
+                .occupied
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// What an executor thread remembers about itself, so a nested
+/// crossing posted *from* an executor can help-serve its home side
+/// instead of blocking the thread.
+#[derive(Clone)]
+struct ExecutorCtx {
+    side: Weak<SchedSide>,
+    slot: usize,
+    serve: ServeFn,
+    cost: Arc<CostModel>,
+}
+
+thread_local! {
+    /// Set for the lifetime of an executor thread's loop.
+    static EXECUTOR: RefCell<Option<ExecutorCtx>> = const { RefCell::new(None) };
+    /// Nested-suspension depth of the current executor thread.
+    static HELP_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The per-application work-stealing scheduler: one injector + slot
+/// array per side, served by that side's executor pool, swept by one
+/// shared timeout worker.
+pub(crate) struct Scheduler {
+    config: SwitchlessConfig,
+    sched: SchedulerConfig,
+    serve: ServeFn,
+    cost: Arc<CostModel>,
+    trusted: Arc<SchedSide>,
+    untrusted: Arc<SchedSide>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    executor_seq: AtomicUsize,
+    /// Present when [`SwitchlessConfig::autotune`] is set.
+    tuner: Option<TunerRuntime>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("config", &self.config)
+            .field("trusted_executors", &self.trusted.active.load(Ordering::Relaxed))
+            .field("untrusted_executors", &self.untrusted.active.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Spawns `min_workers` executors per side plus the timeout
+    /// worker. `serve` is the relay dispatcher bound to the
+    /// application; `cost` is the application's cost model, whose
+    /// recorder receives the scheduler's telemetry.
+    pub(crate) fn spawn(config: &SwitchlessConfig, serve: ServeFn, cost: Arc<CostModel>) -> Self {
+        let config = config.normalized();
+        let sched = config.scheduler.clone().unwrap_or_default().normalized();
+        let tuner = TunerRuntime::from_config(&config, &cost);
+        cost.recorder()
+            .gauge_set(telemetry::Gauge::SwitchlessTargetBatch, sched.steal_batch as u64);
+        let scheduler = Scheduler {
+            trusted: Arc::new(SchedSide::new(Side::Trusted, &config, &sched)),
+            untrusted: Arc::new(SchedSide::new(Side::Untrusted, &config, &sched)),
+            config,
+            sched,
+            serve,
+            cost,
+            threads: Mutex::new(Vec::new()),
+            executor_seq: AtomicUsize::new(0),
+            tuner,
+        };
+        for side in [Side::Trusted, Side::Untrusted] {
+            let state = Arc::clone(scheduler.side(side));
+            for _ in 0..scheduler.config.min_workers {
+                state.active.fetch_add(1, Ordering::Relaxed);
+                scheduler.spawn_executor(&state);
+            }
+            let recorder = scheduler.cost.recorder();
+            recorder.gauge_max(
+                telemetry::Gauge::SwitchlessWorkersPeak,
+                scheduler.config.min_workers as u64,
+            );
+            recorder.gauge_set(
+                telemetry::Gauge::SwitchlessWorkers,
+                scheduler.config.min_workers as u64,
+            );
+        }
+        scheduler.spawn_timeout_worker();
+        scheduler
+    }
+
+    fn side(&self, side: Side) -> &Arc<SchedSide> {
+        match side {
+            Side::Trusted => &self.trusted,
+            Side::Untrusted => &self.untrusted,
+        }
+    }
+
+    /// Live executor/queue readings (tests and the ablation harness).
+    pub(crate) fn stats(&self) -> SwitchlessStats {
+        let read = |s: &SchedSide| SideStats {
+            workers: s.active.load(Ordering::Relaxed),
+            idle: s.idle.load(Ordering::Relaxed),
+            queued: s.queued.load(Ordering::Relaxed),
+        };
+        SwitchlessStats { trusted: read(&self.trusted), untrusted: read(&self.untrusted) }
+    }
+
+    /// Posts a call to `side`'s injector. On admission, waits for the
+    /// task's completion — helping-first if the calling thread is
+    /// itself an executor. On a full injector (or a swept timeout),
+    /// charges the probe and returns [`PostOutcome::Fallback`]; the
+    /// poster is never blocked on admission.
+    pub(crate) fn post(
+        &self,
+        side: Side,
+        class_name: String,
+        relay: String,
+        recv_hash: Option<ProxyHash>,
+        msg: WireMsg,
+    ) -> Result<PostOutcome, VmError> {
+        let state = self.side(side);
+        let recorder = self.cost.recorder();
+        // Pressure signal: a post that finds every executor busy is a
+        // miss even if the injector still has room.
+        if state.idle.load(Ordering::Relaxed) == 0 {
+            recorder.incr(telemetry::Counter::SwitchlessMisses);
+            state.misses.fetch_add(1, Ordering::Relaxed);
+            self.maybe_scale_up(state);
+        }
+        // Backpressure: a full injector rejects immediately. The
+        // classic path degrades gracefully; blocking here would not.
+        if state.queued.load(Ordering::Relaxed) >= self.sched.injector_capacity {
+            recorder.incr(telemetry::Counter::SwitchlessFallbacks);
+            recorder.incr(telemetry::Counter::SwitchlessMisses);
+            state.fallbacks.fetch_add(1, Ordering::Relaxed);
+            state.misses.fetch_add(1, Ordering::Relaxed);
+            self.maybe_scale_up(state);
+            self.cost.charge_ns(self.cost.params().switchless_fallback_ns);
+            return Ok(PostOutcome::Fallback);
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        let tracer = self.cost.tracer();
+        let now = self.cost.now_ns();
+        let posted = tracer.is_enabled().then(|| (now, tracer.wall_now_ns()));
+        let task =
+            Arc::new(ServeTask::new(class_name, relay, recv_hash, msg, reply_tx, posted, now));
+        state.queued.fetch_add(1, Ordering::Relaxed);
+        let inflight = state.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        recorder.gauge_set(telemetry::Gauge::SchedInflight, inflight as u64);
+        let queued = state.queued.load(Ordering::Relaxed) as u64;
+        recorder.gauge_max(telemetry::Gauge::SwitchlessQueueDepthPeak, queued);
+        recorder.gauge_set(telemetry::Gauge::SwitchlessQueueDepth, queued);
+        state
+            .timeouts
+            .lock()
+            .push_back((Instant::now() + self.sched.task_timeout, Arc::downgrade(&task)));
+        state.injector.lock().push_back(task);
+        let _ = state.wake_tx.send(());
+        // The hand-off itself; the executor charges the wake, steal
+        // and batched boundary copies as it schedules the task.
+        self.cost.charge_ns(self.cost.params().switchless_call_ns);
+        match self.wait_for_completion(&reply_rx)? {
+            TaskCompletion::Served(out) => Ok(PostOutcome::Served(out)),
+            TaskCompletion::TimedOut => {
+                // The sweep already counted the fallback; the poster
+                // pays the probe and takes the classic path.
+                self.cost.charge_ns(self.cost.params().switchless_fallback_ns);
+                Ok(PostOutcome::Fallback)
+            }
+        }
+    }
+
+    /// Waits for a posted task's completion. A plain thread blocks on
+    /// the reply channel (exactly like the pool). An *executor* thread
+    /// instead suspends: the pending task's state stays parked on this
+    /// stack while the thread serves other tasks of its home side,
+    /// checking for the reply between tasks.
+    fn wait_for_completion(
+        &self,
+        reply_rx: &Receiver<TaskCompletion>,
+    ) -> Result<TaskCompletion, VmError> {
+        let lost = |_| VmError::Sgx(sgx_sim::SgxError::EnclaveLost);
+        let executor = EXECUTOR.with(|e| e.borrow().clone());
+        let home = executor.as_ref().and_then(|e| e.side.upgrade());
+        let (Some(executor), Some(home)) = (executor, home) else {
+            return reply_rx.recv().map_err(lost);
+        };
+        if HELP_DEPTH.with(|d| d.get()) >= MAX_HELP_DEPTH {
+            return reply_rx.recv().map_err(lost);
+        }
+        // Suspension: this thread is an executor — give it back to the
+        // pool while the nested crossing is outstanding.
+        HELP_DEPTH.with(|d| d.set(d.get() + 1));
+        let recorder = self.cost.recorder();
+        recorder.incr(telemetry::Counter::SchedSuspends);
+        self.cost.charge_ns(self.cost.params().sched_suspend_ns);
+        let completion = loop {
+            if let Ok(done) = reply_rx.try_recv() {
+                break Ok(done);
+            }
+            if let Some(task) = next_task(&home, executor.slot, &executor.cost) {
+                run_task(&home, &task, &executor.serve, &executor.cost);
+                continue;
+            }
+            // Nothing to help with: wait briefly on the reply, staying
+            // responsive to both the reply and fresh work.
+            match reply_rx.recv_timeout(std::time::Duration::from_micros(200)) {
+                Ok(done) => break Ok(done),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break Err(()),
+            }
+        };
+        HELP_DEPTH.with(|d| d.set(d.get() - 1));
+        self.cost.charge_ns(self.cost.params().sched_resume_ns);
+        completion.map_err(|()| VmError::Sgx(sgx_sim::SgxError::EnclaveLost))
+    }
+
+    /// One tuner bookkeeping step for a call that just completed on
+    /// `side`. Cheap no-op unless autotuning is configured. Unlike the
+    /// pool (whose queue waits exist only under tracing), the
+    /// scheduler records task waits unconditionally, so the controller
+    /// is live with tracing off too.
+    pub(crate) fn maybe_tune(&self, side: Side) {
+        let Some(rt) = &self.tuner else { return };
+        let state = self.side(side);
+        let ticks = state.posts_since_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if ticks < rt.tuner.config().interval_calls {
+            return;
+        }
+        // One tick at a time per side; contended callers skip rather
+        // than queue (the next interval will tick again).
+        let Some(mut window) = rt.window(side).try_lock() else { return };
+        if state.posts_since_tick.load(Ordering::Relaxed) < rt.tuner.config().interval_calls {
+            return;
+        }
+        state.posts_since_tick.store(0, Ordering::Relaxed);
+
+        let wait_now = state.wait_hist.snapshot();
+        let batch_now = state.batch_hist.snapshot();
+        let fallbacks_now = state.fallbacks.load(Ordering::Relaxed);
+        let wait_window = wait_now.diff(&window.wait_prev);
+        let batch_window = batch_now.diff(&window.batch_prev);
+        let fallbacks = fallbacks_now.saturating_sub(window.fallbacks_prev);
+        window.wait_prev = wait_now;
+        window.batch_prev = batch_now;
+        window.fallbacks_prev = fallbacks_now;
+
+        let obs = Observation::from_window(
+            &wait_window,
+            &batch_window,
+            fallbacks,
+            state.active.load(Ordering::Relaxed),
+            state.steal_target.load(Ordering::Relaxed),
+        );
+        let decision = rt.tuner.decide(self.config.min_workers, self.config.max_workers, &obs);
+        self.apply_decision(state, &obs, &decision);
+    }
+
+    /// Applies one controller decision: resizes the executor target
+    /// (spawning immediately on growth, lowering the retirement floor
+    /// on shrink), stores the new injector grab bound, and exports the
+    /// decision as telemetry counters and a cat-`queue` tuner span.
+    fn apply_decision(&self, state: &Arc<SchedSide>, obs: &Observation, decision: &Decision) {
+        let recorder = self.cost.recorder();
+        let mut ups = 0u64;
+        let mut downs = 0u64;
+        match decision.workers {
+            WorkerAction::Grow => {
+                let n = state.active.load(Ordering::Relaxed);
+                if n < self.config.max_workers
+                    && state
+                        .active
+                        .compare_exchange(n, n + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    state
+                        .tuner_target
+                        .store((n + 1).min(self.config.max_workers), Ordering::Relaxed);
+                    recorder.gauge_max(telemetry::Gauge::SwitchlessWorkersPeak, (n + 1) as u64);
+                    recorder.gauge_set(telemetry::Gauge::SwitchlessWorkers, (n + 1) as u64);
+                    self.spawn_executor(state);
+                    ups += 1;
+                }
+            }
+            WorkerAction::Shrink => {
+                let target =
+                    state.tuner_target.load(Ordering::Relaxed).max(self.config.min_workers);
+                if target > self.config.min_workers {
+                    state.tuner_target.store(target - 1, Ordering::Relaxed);
+                    downs += 1;
+                }
+            }
+            WorkerAction::Hold => {}
+        }
+        let target_batch = decision.target_batch.max(1);
+        if target_batch != obs.max_batch {
+            state.steal_target.store(target_batch, Ordering::Relaxed);
+            recorder.gauge_set(telemetry::Gauge::SwitchlessTargetBatch, target_batch as u64);
+            if target_batch > obs.max_batch {
+                ups += 1;
+            } else {
+                downs += 1;
+            }
+        }
+        recorder.add(telemetry::Counter::SwitchlessTuneUps, ups);
+        recorder.add(telemetry::Counter::SwitchlessTuneDowns, downs);
+        if ups + downs > 0 {
+            let tracer = self.cost.tracer();
+            let at = self.cost.now_ns();
+            tracer.span_at(state.side.lane(), "queue", None, at, at, tracer.wall_now_ns(), || {
+                format!(
+                    "tune:{} {} workers={} batch={} p95={}ns",
+                    state.side,
+                    decision.reason,
+                    state.active.load(Ordering::Relaxed),
+                    target_batch,
+                    obs.wait_p95_ns,
+                )
+            });
+        }
+    }
+
+    /// Spawns one more executor on `state`'s side if miss pressure has
+    /// accumulated and the pool is below `max_workers`.
+    fn maybe_scale_up(&self, state: &Arc<SchedSide>) {
+        if state.misses.load(Ordering::Relaxed) < self.config.scale_up_misses {
+            return;
+        }
+        loop {
+            let n = state.active.load(Ordering::Relaxed);
+            if n >= self.config.max_workers {
+                return;
+            }
+            if state.active.compare_exchange(n, n + 1, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+            {
+                state.misses.store(0, Ordering::Relaxed);
+                let recorder = self.cost.recorder();
+                recorder.incr(telemetry::Counter::SwitchlessScaleUps);
+                recorder.gauge_max(telemetry::Gauge::SwitchlessWorkersPeak, (n + 1) as u64);
+                recorder.gauge_set(telemetry::Gauge::SwitchlessWorkers, (n + 1) as u64);
+                self.spawn_executor(state);
+                return;
+            }
+        }
+    }
+
+    /// Spawns one executor thread for `state`'s side. The caller has
+    /// already counted it in `state.active`.
+    fn spawn_executor(&self, state: &Arc<SchedSide>) {
+        let Some(slot) = state.claim_slot() else {
+            // Every slot is owned; undo the caller's count. (Cannot
+            // happen while `active ≤ max_workers == slots.len()` holds,
+            // but never spawn a slotless executor.)
+            state.active.fetch_sub(1, Ordering::Relaxed);
+            return;
+        };
+        let seq = self.executor_seq.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::clone(state);
+        let serve = Arc::clone(&self.serve);
+        let cost = Arc::clone(&self.cost);
+        let config = self.config.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("{}-sched-{seq}", state.side))
+            .spawn(move || executor_loop(&state, slot, &serve, &cost, &config))
+            .expect("spawn scheduler executor");
+        self.threads.lock().push(handle);
+    }
+
+    /// Spawns the shared timeout worker that sweeps both sides.
+    fn spawn_timeout_worker(&self) {
+        let trusted = Arc::clone(&self.trusted);
+        let untrusted = Arc::clone(&self.untrusted);
+        let cost = Arc::clone(&self.cost);
+        let task_timeout = self.sched.task_timeout;
+        let handle = std::thread::Builder::new()
+            .name("sched-timeout".into())
+            .spawn(move || timeout::timeout_loop(&[trusted, untrusted], &cost, task_timeout))
+            .expect("spawn scheduler timeout worker");
+        self.threads.lock().push(handle);
+    }
+
+    /// Stops the executors and the timeout worker: parked executors
+    /// are woken (or exit at their next poll), then every thread is
+    /// joined.
+    pub(crate) fn shutdown(self) {
+        for state in [&self.trusted, &self.untrusted] {
+            state.stop.store(true, Ordering::Relaxed);
+            for _ in 0..state.slots.len() {
+                let _ = state.wake_tx.send(());
+            }
+        }
+        let handles = std::mem::take(&mut *self.threads.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One executor: find work (own deque → steal → injector), serve it,
+/// park when there is none; retire when idle past the park interval
+/// and the pool is above its floor.
+fn executor_loop(
+    state: &Arc<SchedSide>,
+    slot: usize,
+    serve: &ServeFn,
+    cost: &Arc<CostModel>,
+    config: &SwitchlessConfig,
+) {
+    EXECUTOR.with(|e| {
+        *e.borrow_mut() = Some(ExecutorCtx {
+            side: Arc::downgrade(state),
+            slot,
+            serve: Arc::clone(serve),
+            cost: Arc::clone(cost),
+        });
+    });
+    let recorder = Arc::clone(cost.recorder());
+    let params = cost.params().clone();
+    // A fresh executor is parked until its first task: waking it costs.
+    let mut parked = true;
+    state.idle.fetch_add(1, Ordering::Relaxed);
+    let mut retired = false;
+    loop {
+        if state.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(task) = next_task(state, slot, cost) {
+            state.idle.fetch_sub(1, Ordering::Relaxed);
+            if parked {
+                recorder.incr(telemetry::Counter::SwitchlessWorkerWakes);
+                cost.charge_ns(params.switchless_wake_ns);
+                parked = false;
+            }
+            run_task(state, &task, serve, cost);
+            state.idle.fetch_add(1, Ordering::Relaxed);
+        } else {
+            match state.wake_rx.recv_timeout(config.idle_park) {
+                // A token arrived — loop around and look for the work
+                // it announced (a sibling may already have taken it).
+                Ok(()) => continue,
+                Err(RecvTimeoutError::Timeout) => {
+                    if state.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Idle a full park interval: retire if above the
+                    // tuner's executor target (which never drops below
+                    // `min_workers`).
+                    let floor = state.tuner_target.load(Ordering::Relaxed).max(config.min_workers);
+                    if try_retire(state, floor) {
+                        recorder.incr(telemetry::Counter::SwitchlessScaleDowns);
+                        recorder.gauge_set(
+                            telemetry::Gauge::SwitchlessWorkers,
+                            state.active.load(Ordering::Relaxed) as u64,
+                        );
+                        retired = true;
+                        break;
+                    }
+                    parked = true;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    if !retired {
+        state.active.fetch_sub(1, Ordering::Relaxed);
+    }
+    state.idle.fetch_sub(1, Ordering::Relaxed);
+    state.slots[slot].occupied.store(false, Ordering::Release);
+    EXECUTOR.with(|e| {
+        *e.borrow_mut() = None;
+    });
+}
+
+/// Decrements `state.active` unless that would drop the pool below
+/// `min`; returns whether the calling executor should exit.
+fn try_retire(state: &SchedSide, min: usize) -> bool {
+    loop {
+        let n = state.active.load(Ordering::Relaxed);
+        if n <= min {
+            return false;
+        }
+        if state.active.compare_exchange(n, n - 1, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
+            return true;
+        }
+    }
+}
+
+/// Finds the next task in steal order: own deque (newest first) →
+/// a sibling's deque (oldest first, charged as a steal) → an injector
+/// batch grab whose surplus lands on the own deque.
+fn next_task(state: &Arc<SchedSide>, slot: usize, cost: &Arc<CostModel>) -> Option<Arc<ServeTask>> {
+    if let Some(task) = state.slots[slot].deque.lock().pop_back() {
+        return Some(task);
+    }
+    let n = state.slots.len();
+    for offset in 1..n {
+        let victim = (slot + offset) % n;
+        let stolen = state.slots[victim].deque.lock().pop_front();
+        if let Some(task) = stolen {
+            cost.recorder().incr(telemetry::Counter::SchedSteals);
+            cost.charge_ns(cost.params().sched_steal_ns);
+            return Some(task);
+        }
+    }
+    let batch_target = state.steal_target.load(Ordering::Relaxed).max(1);
+    let mut grabbed: Vec<Arc<ServeTask>> = Vec::new();
+    {
+        let mut injector = state.injector.lock();
+        while grabbed.len() < batch_target {
+            match injector.pop_front() {
+                Some(task) => grabbed.push(task),
+                None => break,
+            }
+        }
+    }
+    if grabbed.is_empty() {
+        return None;
+    }
+    // The whole grab crosses as one batch frame, exactly like the
+    // pool's mailbox drain: one header, then each request's wire
+    // bytes (traced frames carry the context per payload).
+    let recorder = cost.recorder();
+    recorder.record(telemetry::Hist::SwitchlessBatchJobs, grabbed.len() as u64);
+    state.batch_hist.record(grabbed.len() as u64);
+    let tracer = cost.tracer();
+    let frame_bytes = if tracer.is_enabled() {
+        let payloads: Vec<(usize, bool)> =
+            grabbed.iter().map(|t| (t.msg.wire_len_sans_trace(), t.msg.trace.is_some())).collect();
+        rmi::batch::traced_frame_len(&payloads)
+    } else {
+        let wire_lens: Vec<usize> = grabbed.iter().map(|t| t.msg.wire_len()).collect();
+        rmi::batch::frame_len(&wire_lens)
+    };
+    cost.charge_ns((frame_bytes as f64 * cost.params().copy_ns_per_byte) as u64);
+    let first = grabbed.remove(0);
+    if !grabbed.is_empty() {
+        let mut deque = state.slots[slot].deque.lock();
+        for task in grabbed {
+            deque.push_back(task);
+        }
+    }
+    Some(first)
+}
+
+/// Claims and serves one task end to end: advance the stage machine,
+/// record the task wait, execute the relay (with the task current, so
+/// `serve_relay_inner` can advance decode/execute/encode), and deliver
+/// the reply. A task the timeout worker already swept is dropped.
+fn run_task(state: &Arc<SchedSide>, task: &Arc<ServeTask>, serve: &ServeFn, cost: &Arc<CostModel>) {
+    if !task.claim_for_run() {
+        return;
+    }
+    state.queued.fetch_sub(1, Ordering::Relaxed);
+    let recorder = cost.recorder();
+    recorder.gauge_set(
+        telemetry::Gauge::SwitchlessQueueDepth,
+        state.queued.load(Ordering::Relaxed) as u64,
+    );
+    let picked_up = cost.now_ns();
+    let wait = picked_up.saturating_sub(task.posted_model_ns);
+    recorder.record(telemetry::Hist::SchedTaskWaitNs, wait);
+    state.wait_hist.record(wait);
+    if let Some((posted_model, posted_wall)) = task.posted {
+        cost.tracer().span_at(
+            state.side.lane(),
+            "queue",
+            task.msg.parent_span(),
+            posted_model,
+            picked_up.max(posted_model),
+            posted_wall,
+            || format!("task-wait:{}.{}", task.class_name, task.relay),
+        );
+    }
+    task.set_stage(TaskStage::Decode);
+    let out = with_current_task(task, || {
+        serve(state.side, &task.class_name, &task.relay, task.recv_hash, &task.msg)
+    });
+    task.set_stage(TaskStage::Complete);
+    let inflight = state.inflight.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+    recorder.gauge_set(telemetry::Gauge::SchedInflight, inflight as u64);
+    let _ = task.reply.send(TaskCompletion::Served(out));
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Duration;
+
+    use proptest::prelude::*;
+    use sgx_sim::cost::{ClockMode, CostParams};
+
+    use super::*;
+
+    fn echo_serve() -> ServeFn {
+        Arc::new(|_side, _class, _relay, _hash, msg| Ok(msg.clone()))
+    }
+
+    /// A serve fn that blocks until `release` is signalled, so tests
+    /// can hold the executors busy deterministically.
+    fn gated_serve(entered: Arc<AtomicUsize>, release: Receiver<()>) -> ServeFn {
+        Arc::new(move |_side, _class, _relay, _hash, msg| {
+            entered.fetch_add(1, Ordering::SeqCst);
+            let _ = release.recv();
+            Ok(msg.clone())
+        })
+    }
+
+    fn msg() -> WireMsg {
+        WireMsg { recv_hash: None, hints: Vec::new(), payload: vec![1, 2, 3].into(), trace: None }
+    }
+
+    fn model() -> Arc<CostModel> {
+        Arc::new(CostModel::new(CostParams::paper_defaults(), ClockMode::Virtual))
+    }
+
+    fn sched_config(sched: SchedulerConfig, workers: usize) -> SwitchlessConfig {
+        SwitchlessConfig { scheduler: Some(sched), ..SwitchlessConfig::fixed(workers) }
+    }
+
+    fn task_for(side: &Arc<SchedSide>, id: u32) -> (Arc<ServeTask>, Receiver<TaskCompletion>) {
+        let (tx, rx) = bounded(1);
+        let task = Arc::new(ServeTask::new(format!("C{id}"), "r".into(), None, msg(), tx, None, 0));
+        side.queued.fetch_add(1, Ordering::Relaxed);
+        side.inflight.fetch_add(1, Ordering::Relaxed);
+        (task, rx)
+    }
+
+    #[test]
+    fn served_posts_round_trip() {
+        let sched =
+            Scheduler::spawn(&sched_config(SchedulerConfig::default(), 2), echo_serve(), model());
+        for _ in 0..16 {
+            match sched.post(Side::Trusted, "C".into(), "r".into(), None, msg()).unwrap() {
+                PostOutcome::Served(out) => assert_eq!(out.unwrap(), msg()),
+                PostOutcome::Fallback => panic!("an idle scheduler must not fall back"),
+            }
+        }
+        assert_eq!(sched.stats().trusted.queued, 0);
+        sched.shutdown();
+    }
+
+    /// White-box steal order: an executor with an empty local deque
+    /// takes the *oldest* task from a sibling's deque before touching
+    /// the injector, and the steal is counted and charged.
+    #[test]
+    fn empty_deque_steals_oldest_from_sibling_before_injector() {
+        let cost = model();
+        let config = sched_config(SchedulerConfig::default(), 2).normalized();
+        let sched_cfg = config.scheduler.clone().unwrap();
+        let side = Arc::new(SchedSide::new(Side::Trusted, &config, &sched_cfg));
+        let (first, _rx1) = task_for(&side, 1);
+        let (second, _rx2) = task_for(&side, 2);
+        side.slots[1].deque.lock().push_back(Arc::clone(&first));
+        side.slots[1].deque.lock().push_back(Arc::clone(&second));
+        // A third task sits in the injector; the sibling deque wins.
+        let (third, _rx3) = task_for(&side, 3);
+        side.injector.lock().push_back(Arc::clone(&third));
+
+        let charged_before = cost.charged();
+        let got = next_task(&side, 0, &cost).expect("a task is available");
+        assert!(Arc::ptr_eq(&got, &first), "thieves take the victim's oldest task");
+        assert_eq!(cost.recorder().counter(telemetry::Counter::SchedSteals), 1);
+        let steal_ns = cost.params().sched_steal_ns;
+        assert!(
+            cost.charged() - charged_before >= Duration::from_nanos(steal_ns),
+            "the steal must be charged"
+        );
+
+        let got = next_task(&side, 0, &cost).expect("the second sibling task");
+        assert!(Arc::ptr_eq(&got, &second));
+        assert_eq!(cost.recorder().counter(telemetry::Counter::SchedSteals), 2);
+
+        // Both deques empty now: the injector is the last resort.
+        let got = next_task(&side, 0, &cost).expect("the injector task");
+        assert!(Arc::ptr_eq(&got, &third));
+        assert_eq!(cost.recorder().counter(telemetry::Counter::SchedSteals), 2);
+        assert!(next_task(&side, 0, &cost).is_none());
+    }
+
+    /// White-box injector grab: one visit takes up to `steal_target`
+    /// tasks, serves the first and parks the surplus on the grabbing
+    /// executor's own deque — where a sibling can steal it.
+    #[test]
+    fn injector_grab_parks_surplus_on_own_deque() {
+        let cost = model();
+        let config =
+            sched_config(SchedulerConfig { steal_batch: 2, ..SchedulerConfig::default() }, 2)
+                .normalized();
+        let sched_cfg = config.scheduler.clone().unwrap();
+        let side = Arc::new(SchedSide::new(Side::Trusted, &config, &sched_cfg));
+        let tasks: Vec<_> = (0..3).map(|i| task_for(&side, i).0).collect();
+        for t in &tasks {
+            side.injector.lock().push_back(Arc::clone(t));
+        }
+
+        let got = next_task(&side, 0, &cost).expect("grab returns the first task");
+        assert!(Arc::ptr_eq(&got, &tasks[0]));
+        assert_eq!(side.injector.lock().len(), 1, "grab bounded by steal_batch");
+        assert_eq!(side.slots[0].deque.lock().len(), 1, "surplus parked locally");
+        let snap = cost.recorder().snapshot();
+        assert_eq!(snap.hist(telemetry::Hist::SwitchlessBatchJobs).sum, 2);
+
+        // The parked surplus is a steal target for slot 1.
+        let got = next_task(&side, 1, &cost).expect("sibling steals the surplus");
+        assert!(Arc::ptr_eq(&got, &tasks[1]));
+        assert_eq!(cost.recorder().counter(telemetry::Counter::SchedSteals), 1);
+    }
+
+    /// Backpressure: with a one-slot injector and the only executor
+    /// held busy, one task may wait queued; the next post must be
+    /// rejected into the fallback path without blocking.
+    #[test]
+    fn full_injector_rejects_post_into_fallback() {
+        let cost = model();
+        let entered = Arc::new(AtomicUsize::new(0));
+        let (release_tx, release_rx) = bounded::<()>(16);
+        let config = sched_config(
+            SchedulerConfig {
+                injector_capacity: 1,
+                task_timeout: Duration::from_secs(30),
+                ..SchedulerConfig::default()
+            },
+            1,
+        );
+        let sched = Arc::new(Scheduler::spawn(
+            &config,
+            gated_serve(Arc::clone(&entered), release_rx),
+            Arc::clone(&cost),
+        ));
+
+        // Post A on a helper thread; wait until the executor holds it.
+        let sched_a = Arc::clone(&sched);
+        let a = std::thread::spawn(move || {
+            sched_a.post(Side::Trusted, "C".into(), "r".into(), None, msg()).unwrap()
+        });
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        // Post B on a helper thread; wait until it occupies the slot.
+        let sched_b = Arc::clone(&sched);
+        let b = std::thread::spawn(move || {
+            sched_b.post(Side::Trusted, "C".into(), "r".into(), None, msg()).unwrap()
+        });
+        while sched.stats().trusted.queued == 0 {
+            std::thread::yield_now();
+        }
+
+        // The injector is provably full: this post must be rejected.
+        let before = cost.recorder().counter(telemetry::Counter::SwitchlessFallbacks);
+        let charged_before = cost.charged();
+        match sched.post(Side::Trusted, "C".into(), "r".into(), None, msg()).unwrap() {
+            PostOutcome::Fallback => {}
+            PostOutcome::Served(_) => panic!("a full injector must reject"),
+        }
+        assert_eq!(
+            cost.recorder().counter(telemetry::Counter::SwitchlessFallbacks),
+            before + 1,
+            "rejection must count a fallback"
+        );
+        let probe = cost.params().switchless_fallback_ns;
+        assert!(
+            cost.charged() - charged_before >= Duration::from_nanos(probe),
+            "rejection must charge the failed probe"
+        );
+
+        release_tx.send(()).unwrap();
+        release_tx.send(()).unwrap();
+        assert!(matches!(a.join().unwrap(), PostOutcome::Served(Ok(_))));
+        assert!(matches!(b.join().unwrap(), PostOutcome::Served(Ok(_))));
+        match Arc::try_unwrap(sched) {
+            Ok(sched) => sched.shutdown(),
+            Err(_) => panic!("no other scheduler handles remain"),
+        }
+    }
+
+    /// The timeout worker sweeps a task that sat queued past its
+    /// deadline into the fallback path: the poster gets `Fallback`,
+    /// `rmi.sched_timeouts` counts it, and the held task is *not*
+    /// served afterwards (exactly-once).
+    #[test]
+    fn timeout_sweeps_overdue_tasks_into_fallback() {
+        let cost = model();
+        let entered = Arc::new(AtomicUsize::new(0));
+        let (release_tx, release_rx) = bounded::<()>(16);
+        let config = sched_config(
+            SchedulerConfig { task_timeout: Duration::from_millis(10), ..Default::default() },
+            1,
+        );
+        let sched = Arc::new(Scheduler::spawn(
+            &config,
+            gated_serve(Arc::clone(&entered), release_rx),
+            Arc::clone(&cost),
+        ));
+
+        let sched_a = Arc::clone(&sched);
+        let a = std::thread::spawn(move || {
+            sched_a.post(Side::Trusted, "held".into(), "r".into(), None, msg()).unwrap()
+        });
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        // B queues behind the held executor and must be swept.
+        let outcome = sched.post(Side::Trusted, "late".into(), "r".into(), None, msg()).unwrap();
+        assert!(matches!(outcome, PostOutcome::Fallback), "an overdue task falls back");
+        assert!(cost.recorder().counter(telemetry::Counter::SchedTimeouts) >= 1);
+        assert!(cost.recorder().counter(telemetry::Counter::SwitchlessFallbacks) >= 1);
+
+        release_tx.send(()).unwrap();
+        assert!(matches!(a.join().unwrap(), PostOutcome::Served(Ok(_))));
+        // Only A's serve ever ran: the swept task was dropped at claim
+        // time, not served twice.
+        release_tx.send(()).unwrap(); // unblock a spurious serve, if any
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(entered.load(Ordering::SeqCst), 1, "the swept task must never be served");
+        match Arc::try_unwrap(sched) {
+            Ok(sched) => sched.shutdown(),
+            Err(_) => panic!("no other scheduler handles remain"),
+        }
+    }
+
+    /// A nested crossing posted from an executor thread suspends the
+    /// outer task instead of blocking the thread: the suspend is
+    /// counted, and the nested round trip completes with one executor
+    /// per side.
+    #[test]
+    fn nested_crossing_suspends_the_executor_task() {
+        let cost = model();
+        let slot: Arc<Mutex<Option<Arc<Scheduler>>>> = Arc::new(Mutex::new(None));
+        let serve: ServeFn = {
+            let slot = Arc::clone(&slot);
+            Arc::new(move |side, class, _relay, _hash, msg| {
+                if class == "outer" {
+                    let sched = slot.lock().clone().expect("scheduler installed before posts");
+                    let target = match side {
+                        Side::Trusted => Side::Untrusted,
+                        Side::Untrusted => Side::Trusted,
+                    };
+                    match sched.post(target, "inner".into(), "r".into(), None, msg.clone())? {
+                        PostOutcome::Served(out) => out,
+                        PostOutcome::Fallback => Ok(msg.clone()),
+                    }
+                } else {
+                    Ok(msg.clone())
+                }
+            })
+        };
+        let sched = Arc::new(Scheduler::spawn(
+            &sched_config(SchedulerConfig::default(), 1),
+            serve,
+            Arc::clone(&cost),
+        ));
+        *slot.lock() = Some(Arc::clone(&sched));
+
+        match sched.post(Side::Trusted, "outer".into(), "r".into(), None, msg()).unwrap() {
+            PostOutcome::Served(out) => assert_eq!(out.unwrap(), msg()),
+            PostOutcome::Fallback => panic!("an idle scheduler must not fall back"),
+        }
+        assert_eq!(
+            cost.recorder().counter(telemetry::Counter::SchedSuspends),
+            1,
+            "the nested crossing must suspend the outer task"
+        );
+
+        *slot.lock() = None;
+        match Arc::try_unwrap(sched) {
+            Ok(sched) => sched.shutdown(),
+            Err(_) => panic!("no other scheduler handles remain"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Exactly-once under arbitrary interleavings of posts,
+        /// steals, suspensions and timeouts: every posted call
+        /// resolves exactly once — a `Served` outcome whose body ran
+        /// exactly once, or a `Fallback` whose body never ran — and
+        /// the shared fallback counter agrees with the outcomes.
+        #[test]
+        fn interleavings_never_lose_or_duplicate_a_task(
+            executors in 1usize..4,
+            capacity in 1usize..9,
+            steal_batch in 1usize..5,
+            timeout_ms in 1u64..12,
+            service_us in proptest::collection::vec(0u64..2_500, 4..32),
+        ) {
+            let cost = model();
+            let served: Arc<Mutex<HashMap<usize, u32>>> = Arc::new(Mutex::new(HashMap::new()));
+            let serve: ServeFn = {
+                let served = Arc::clone(&served);
+                Arc::new(move |_side, class, _relay, _hash, msg| {
+                    let (id, delay) = class
+                        .split_once(':')
+                        .map(|(i, d)| (i.parse().unwrap(), d.parse().unwrap()))
+                        .expect("class carries `id:delay_us`");
+                    if delay > 0 {
+                        std::thread::sleep(Duration::from_micros(delay));
+                    }
+                    *served.lock().entry(id).or_insert(0u32) += 1;
+                    Ok(msg.clone())
+                })
+            };
+            let config = sched_config(
+                SchedulerConfig {
+                    injector_capacity: capacity,
+                    steal_batch,
+                    task_timeout: Duration::from_millis(timeout_ms),
+                },
+                executors,
+            );
+            let sched = Arc::new(Scheduler::spawn(&config, serve, Arc::clone(&cost)));
+
+            let mut posters = Vec::new();
+            for (i, delay) in service_us.iter().copied().enumerate() {
+                let sched = Arc::clone(&sched);
+                let side = if i % 2 == 0 { Side::Trusted } else { Side::Untrusted };
+                posters.push(std::thread::spawn(move || {
+                    let out = sched
+                        .post(side, format!("{i}:{delay}"), "r".into(), None, msg())
+                        .unwrap();
+                    (i, matches!(out, PostOutcome::Served(_)))
+                }));
+            }
+            let outcomes: Vec<(usize, bool)> =
+                posters.into_iter().map(|p| p.join().unwrap()).collect();
+            prop_assert_eq!(outcomes.len(), service_us.len(), "every post resolves");
+
+            let served = served.lock();
+            let mut fallbacks = 0u64;
+            for (id, hit) in &outcomes {
+                let runs = served.get(id).copied().unwrap_or(0);
+                if *hit {
+                    prop_assert_eq!(runs, 1, "served post {} must run exactly once", id);
+                } else {
+                    prop_assert_eq!(runs, 0, "fallback post {} must never run", id);
+                    fallbacks += 1;
+                }
+            }
+            prop_assert_eq!(
+                cost.recorder().counter(telemetry::Counter::SwitchlessFallbacks),
+                fallbacks,
+                "fallback telemetry agrees with outcomes"
+            );
+            prop_assert!(
+                cost.recorder().counter(telemetry::Counter::SchedTimeouts) <= fallbacks,
+                "timeouts are a subset of fallbacks"
+            );
+            drop(served);
+            match Arc::try_unwrap(sched) {
+                Ok(sched) => sched.shutdown(),
+                Err(_) => return Err(TestCaseError::fail("scheduler handle leaked")),
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The scheduler's dedicated timeout worker.
+//!
+//! One thread per [`Scheduler`](super::scheduler::Scheduler) sweeps
+//! both sides' deadline registries: any task still `QUEUED` past
+//! [`SchedulerConfig::task_timeout`](super::SchedulerConfig::task_timeout)
+//! is claimed (`QUEUED → TIMED_OUT`, so no executor can serve it
+//! afterwards) and its poster is released into the classic-fallback
+//! path. This bounds the poster's wait even when every executor is
+//! wedged behind long-running bodies: a crossing is *eventually*
+//! served or classically retried, never stranded.
+//!
+//! The registry is a per-side FIFO of `(wall deadline, Weak<task>)`
+//! pairs. Deadlines are a constant offset from the post, so FIFO order
+//! is deadline order and each sweep only inspects the overdue prefix.
+//! Completed tasks age out as dead weak references. The worker charges
+//! no model time itself — the poster pays the fallback probe when it
+//! observes the sweep — so sweep cadence never skews model-time
+//! latency.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sgx_sim::cost::CostModel;
+
+use super::scheduler::SchedSide;
+use super::task::TaskCompletion;
+
+/// Body of the `sched-timeout` thread: periodically sweep every side
+/// until all of them are stopping. The sweep interval tracks the task
+/// timeout (a quarter of it, clamped to 1–20 ms) so an overdue task is
+/// detected within a small multiple of its deadline without busy
+/// polling.
+pub(crate) fn timeout_loop(sides: &[Arc<SchedSide>], cost: &Arc<CostModel>, timeout: Duration) {
+    let sweep = (timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(20));
+    loop {
+        if sides.iter().all(|s| s.stop.load(Ordering::Relaxed)) {
+            return;
+        }
+        std::thread::sleep(sweep);
+        let now = Instant::now();
+        for side in sides {
+            sweep_overdue(side, cost, now);
+        }
+    }
+}
+
+/// Sweeps `side`'s overdue prefix: every registered task whose
+/// deadline has passed and that is still unclaimed is moved to
+/// `TIMED_OUT`, counted (`rmi.sched_timeouts` plus the shared
+/// `rmi.switchless_fallbacks` the invariant gates read), and its
+/// poster released with [`TaskCompletion::TimedOut`]. Returns how many
+/// tasks were swept.
+pub(crate) fn sweep_overdue(side: &Arc<SchedSide>, cost: &Arc<CostModel>, now: Instant) -> usize {
+    let mut swept = 0;
+    loop {
+        let entry = {
+            let mut registry = side.timeouts.lock();
+            match registry.front() {
+                Some((deadline, _)) if *deadline <= now => registry.pop_front(),
+                _ => None,
+            }
+        };
+        let Some((_, weak)) = entry else { break };
+        // A dead reference is a task that completed and was dropped;
+        // skip it and keep draining the overdue prefix.
+        let Some(task) = weak.upgrade() else { continue };
+        if !task.claim_for_timeout() {
+            // An executor owns it (or already served it): its reply
+            // will arrive the normal way.
+            continue;
+        }
+        side.queued.fetch_sub(1, Ordering::Relaxed);
+        let inflight = side.inflight.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        let recorder = cost.recorder();
+        recorder.incr(telemetry::Counter::SchedTimeouts);
+        recorder.incr(telemetry::Counter::SwitchlessFallbacks);
+        side.fallbacks.fetch_add(1, Ordering::Relaxed);
+        recorder.gauge_set(telemetry::Gauge::SchedInflight, inflight as u64);
+        recorder.gauge_set(
+            telemetry::Gauge::SwitchlessQueueDepth,
+            side.queued.load(Ordering::Relaxed) as u64,
+        );
+        // The stale queue entry stays wherever it is; whichever
+        // executor eventually pops it fails the run claim and drops it.
+        let _ = task.reply.send(TaskCompletion::TimedOut);
+        swept += 1;
+    }
+    swept
+}
